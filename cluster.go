@@ -1,0 +1,281 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ctabcast"
+	"repro/internal/fd"
+	"repro/internal/gm"
+	"repro/internal/hbfd"
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+	"repro/internal/seqabcast"
+	"repro/internal/sim"
+)
+
+// Delivery reports one A-delivery observed at one process.
+type Delivery struct {
+	Process int
+	ID      MessageID
+	Body    any
+	At      time.Duration // virtual time since simulation start
+}
+
+// ViewInfo reports one membership view entered by a process (GM
+// algorithms only).
+type ViewInfo struct {
+	Process int
+	ViewID  uint64
+	Members []int
+	At      time.Duration
+}
+
+// NetEvent is a message lifecycle point in the network model, for traces.
+type NetEvent struct {
+	Stage   string // "send", "wire", "deliver", "drop"
+	From    int
+	To      int // -1 for the wire stage of multicasts
+	Payload string
+	At      time.Duration
+}
+
+// NetStats snapshots network activity counters.
+type NetStats struct {
+	Unicasts   uint64
+	Multicasts uint64
+	WireSlots  uint64
+	Deliveries uint64
+}
+
+// ClusterConfig configures an interactive simulated cluster.
+type ClusterConfig struct {
+	// Algorithm selects the atomic broadcast (default FD).
+	Algorithm Algorithm
+	// N is the number of processes.
+	N int
+	// Lambda is the CPU/wire cost ratio of the network model (default 1,
+	// the paper's setting).
+	Lambda float64
+	// QoS parameterises the failure detectors (default: perfect).
+	QoS QoS
+	// Seed makes the run reproducible (default 1).
+	Seed uint64
+	// PreCrashed lists processes crashed long before the start.
+	PreCrashed []int
+	// OnDeliver observes every A-delivery at every process.
+	OnDeliver func(d Delivery)
+	// OnView observes view installations (GM algorithms only).
+	OnView func(v ViewInfo)
+	// Heartbeat, if non-nil, replaces the abstract QoS failure-detector
+	// model with a concrete heartbeat detector whose messages share the
+	// contended network (see internal/hbfd). QoS should then be zero.
+	Heartbeat *HeartbeatConfig
+}
+
+// HeartbeatConfig tunes the concrete heartbeat failure detector.
+type HeartbeatConfig struct {
+	// Interval between heartbeats (default 10 ms).
+	Interval time.Duration
+	// Timeout of silence before suspicion (default 3x Interval).
+	Timeout time.Duration
+}
+
+// Cluster is an interactively driven simulated cluster running one of the
+// paper's atomic broadcast algorithms. All methods must be called from a
+// single goroutine; time only advances inside Run calls.
+type Cluster struct {
+	cfg      ClusterConfig
+	eng      *sim.Engine
+	sys      *proto.System
+	bcast    []func(body any) MessageID
+	wrappers []*hbfd.Wrapper // non-nil entries when Heartbeat is enabled
+}
+
+// NewCluster builds a cluster. It panics on invalid configuration.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = FD
+	}
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("repro: N = %d", cfg.N))
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	eng := sim.New()
+	netCfg := netmodel.Config{N: cfg.N, Lambda: Milliseconds(cfg.Lambda), Slot: time.Millisecond}
+	sys := proto.NewSystem(eng, netCfg, cfg.QoS, sim.NewRand(cfg.Seed))
+	c := &Cluster{cfg: cfg, eng: eng, sys: sys, bcast: make([]func(any) MessageID, cfg.N)}
+
+	preCrashed := make(map[int]bool, len(cfg.PreCrashed))
+	for _, p := range cfg.PreCrashed {
+		preCrashed[p] = true
+	}
+	var members []proto.PID
+	for p := 0; p < cfg.N; p++ {
+		if !preCrashed[p] {
+			members = append(members, proto.PID(p))
+		}
+	}
+
+	c.wrappers = make([]*hbfd.Wrapper, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		pid := proto.PID(p)
+		procIdx := p
+		deliver := func(id proto.MsgID, body any) {
+			if cfg.OnDeliver != nil {
+				cfg.OnDeliver(Delivery{
+					Process: procIdx,
+					ID:      id,
+					Body:    body,
+					At:      eng.Now().Duration(),
+				})
+			}
+		}
+		// build constructs the algorithm endpoint against rt and returns
+		// the handler plus the broadcast entry point.
+		build := func(rt proto.Runtime) (proto.Handler, func(any) MessageID) {
+			switch cfg.Algorithm {
+			case FD:
+				proc := ctabcast.New(rt, ctabcast.Config{Deliver: deliver, Renumber: true})
+				return proc, proc.ABroadcast
+			case GM, GMNonUniform:
+				scfg := seqabcast.Config{
+					Deliver:        deliver,
+					Uniform:        cfg.Algorithm == GM,
+					InitialMembers: members,
+				}
+				if cfg.OnView != nil {
+					scfg.OnView = func(v gm.View) {
+						ms := make([]int, len(v.Members))
+						for i, m := range v.Members {
+							ms[i] = int(m)
+						}
+						cfg.OnView(ViewInfo{
+							Process: procIdx,
+							ViewID:  v.ID,
+							Members: ms,
+							At:      eng.Now().Duration(),
+						})
+					}
+				}
+				proc := seqabcast.New(rt, scfg)
+				return proc, proc.ABroadcast
+			default:
+				panic(fmt.Sprintf("repro: unknown algorithm %v", cfg.Algorithm))
+			}
+		}
+		if hb := cfg.Heartbeat; hb != nil {
+			var bcast func(any) MessageID
+			w := hbfd.Wrap(sys.Proc(pid), hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
+				func(rt proto.Runtime) proto.Handler {
+					h, bc := build(rt)
+					bcast = bc
+					return h
+				})
+			c.wrappers[p] = w
+			sys.SetHandler(pid, w)
+			c.bcast[p] = bcast
+			continue
+		}
+		handler, bcast := build(sys.Proc(pid))
+		sys.SetHandler(pid, handler)
+		c.bcast[p] = bcast
+	}
+	for _, p := range cfg.PreCrashed {
+		sys.PreCrash(proto.PID(p))
+	}
+	sys.Start()
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.eng.Now().Duration() }
+
+// Broadcast A-broadcasts body from process p at the current instant and
+// returns the message ID.
+func (c *Cluster) Broadcast(p int, body any) MessageID {
+	return c.bcast[p](body)
+}
+
+// BroadcastAt schedules an A-broadcast from process p at virtual time at.
+func (c *Cluster) BroadcastAt(p int, at time.Duration, body any) {
+	c.eng.Schedule(sim.Time(at), func() { c.bcast[p](body) })
+}
+
+// CrashAt schedules a crash of process p at virtual time at.
+func (c *Cluster) CrashAt(p int, at time.Duration) {
+	c.sys.CrashAt(proto.PID(p), sim.Time(at))
+}
+
+// SuspectAt schedules a wrong suspicion: monitor starts suspecting target
+// at the given instant, for the given duration (0 is an instantaneous
+// mistake whose edges still fire).
+func (c *Cluster) SuspectAt(monitor, target int, at, duration time.Duration) {
+	c.eng.Schedule(sim.Time(at), func() {
+		c.sys.FDs.InjectMistake(monitor, target, duration)
+	})
+}
+
+// Run advances virtual time by d, processing all events on the way.
+func (c *Cluster) Run(d time.Duration) {
+	c.eng.RunUntil(c.eng.Now().Add(d))
+}
+
+// RunUntilIdle processes events until none remain.
+func (c *Cluster) RunUntilIdle() { c.eng.Run() }
+
+// Crashed reports whether process p has crashed.
+func (c *Cluster) Crashed(p int) bool { return c.sys.Proc(proto.PID(p)).Crashed() }
+
+// Stats snapshots network activity so far.
+func (c *Cluster) Stats() NetStats {
+	counters := c.sys.Net.Counters()
+	return NetStats{
+		Unicasts:   counters.Unicasts,
+		Multicasts: counters.Multicasts,
+		WireSlots:  counters.WireSlots,
+		Deliveries: counters.Deliveries,
+	}
+}
+
+// SetTrace installs a network-level observer (nil removes it). Useful for
+// printing Fig. 1-style message diagrams; see examples/trace.
+func (c *Cluster) SetTrace(fn func(NetEvent)) {
+	if fn == nil {
+		c.sys.Net.SetTrace(nil)
+		return
+	}
+	c.sys.Net.SetTrace(func(ev netmodel.TraceEvent) {
+		fn(NetEvent{
+			Stage:   ev.Kind.String(),
+			From:    ev.From,
+			To:      ev.To,
+			Payload: payloadName(ev.Payload),
+			At:      ev.At.Duration(),
+		})
+	})
+}
+
+// payloadName renders a protocol payload compactly for traces, preferring
+// a payload's own String method (protocol wrappers name their inner
+// message).
+func payloadName(p any) string {
+	if s, ok := p.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+// Perfect returns a QoS with instant detection and no mistakes.
+func Perfect() QoS { return QoS{} }
+
+// Detectors returns a QoS with the given metrics in milliseconds, the
+// unit the paper uses throughout.
+func Detectors(tdMs, tmrMs, tmMs float64) QoS {
+	return fd.QoS{TD: Milliseconds(tdMs), TMR: Milliseconds(tmrMs), TM: Milliseconds(tmMs)}
+}

@@ -1,0 +1,347 @@
+// Command figures regenerates the data behind every figure of the paper's
+// evaluation (§7): latency-vs-throughput curves for the normal-steady and
+// crash-steady scenarios (Figs. 4, 5), latency versus the failure-detector
+// QoS metrics TMR and TM in the suspicion-steady scenario (Figs. 6, 7),
+// and the crash-transient latency overhead (Fig. 8) — plus the ablations
+// discussed in §7/§8 (coordinator renumbering, the non-uniform sequencer
+// variant, the λ parameter) and a Fig. 1 message-pattern equivalence
+// check.
+//
+// Output is TSV with commented headers, one block per figure panel,
+// suitable for gnuplot or any plotting tool:
+//
+//	figures -fig 4            # one figure
+//	figures -fig all -quick   # everything, reduced resolution
+//
+// Unstable points (messages left undelivered, the regime where the paper
+// omits the GM curve) print "unstable" in place of a latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+var (
+	figFlag   = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, ablations or all")
+	quickFlag = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
+	seedFlag  = flag.Uint64("seed", 1, "base random seed")
+	repsFlag  = flag.Int("reps", 0, "replications per point (0 = scenario default)")
+)
+
+func main() {
+	flag.Parse()
+	switch *figFlag {
+	case "1":
+		fig1()
+	case "4":
+		fig4()
+	case "5":
+		fig5()
+	case "6":
+		fig6()
+	case "7":
+		fig7()
+	case "8":
+		fig8()
+	case "ablations":
+		ablations()
+	case "all":
+		fig1()
+		fig4()
+		fig5()
+		fig6()
+		fig7()
+		fig8()
+		ablations()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}
+
+// throughputs returns the x-axis sweep of the latency-vs-throughput
+// figures.
+func throughputs() []float64 {
+	if *quickFlag {
+		return []float64{10, 100, 300, 500, 650}
+	}
+	return []float64{10, 50, 100, 200, 300, 400, 500, 600, 650, 700}
+}
+
+// steadyCfg builds a Config with durations scaled to gather a useful
+// number of messages at throughput T.
+func steadyCfg(alg repro.Algorithm, n int, thr float64) repro.Config {
+	target := 600.0 // messages per replication
+	reps := 3
+	if *quickFlag {
+		target = 150
+		reps = 2
+	}
+	if *repsFlag > 0 {
+		reps = *repsFlag
+	}
+	measure := time.Duration(target / thr * float64(time.Second))
+	if measure < 3*time.Second {
+		measure = 3 * time.Second
+	}
+	if measure > 120*time.Second {
+		measure = 120 * time.Second
+	}
+	return repro.Config{
+		Algorithm:    alg,
+		N:            n,
+		Throughput:   thr,
+		Seed:         *seedFlag,
+		Warmup:       time.Second,
+		Measure:      measure,
+		Drain:        20 * time.Second,
+		Replications: reps,
+	}
+}
+
+// cell formats one latency ± CI pair, or "unstable".
+func cell(res repro.Result) string {
+	if !res.Stable {
+		return "unstable\tunstable"
+	}
+	return fmt.Sprintf("%.2f\t%.2f", res.Latency.Mean, res.Latency.CI95)
+}
+
+func fig1() {
+	fmt.Println("# Figure 1 check: identical failure-free message pattern (FD vs GM)")
+	fmt.Println("# n\tthroughput(1/s)\tFD_wire_msgs\tGM_wire_msgs\tFD_lat(ms)\tGM_lat(ms)")
+	for _, n := range []int{3, 7} {
+		for _, thr := range []float64{10, 300} {
+			counts := make(map[repro.Algorithm]uint64)
+			lats := make(map[repro.Algorithm]float64)
+			for _, alg := range []repro.Algorithm{repro.FD, repro.GM} {
+				cfg := steadyCfg(alg, n, thr)
+				cfg.Measure = 3 * time.Second
+				cfg.Replications = 1
+				res := repro.RunSteady(cfg)
+				lats[alg] = res.PerMessage.Mean
+				// Wire counts come from a dedicated cluster run with the
+				// same arrivals.
+				var wires uint64
+				func() {
+					c := repro.NewCluster(repro.ClusterConfig{Algorithm: alg, N: n, Seed: *seedFlag})
+					for i := 0; i < 20; i++ {
+						c.BroadcastAt(i%n, time.Duration(i)*7*time.Millisecond, i)
+					}
+					c.Run(2 * time.Second)
+					wires = c.Stats().WireSlots
+				}()
+				counts[alg] = wires
+			}
+			fmt.Printf("%d\t%.0f\t%d\t%d\t%.4f\t%.4f\n",
+				n, thr, counts[repro.FD], counts[repro.GM], lats[repro.FD], lats[repro.GM])
+		}
+	}
+	fmt.Println()
+}
+
+func fig4() {
+	for _, n := range []int{3, 7} {
+		fmt.Printf("# Figure 4: latency vs throughput, normal-steady, n=%d\n", n)
+		fmt.Println("# throughput(1/s)\tFD_lat(ms)\tFD_ci\tGM_lat(ms)\tGM_ci")
+		for _, thr := range throughputs() {
+			fd := repro.RunSteady(steadyCfg(repro.FD, n, thr))
+			gm := repro.RunSteady(steadyCfg(repro.GM, n, thr))
+			fmt.Printf("%.0f\t%s\t%s\n", thr, cell(fd), cell(gm))
+		}
+		fmt.Println()
+	}
+}
+
+func fig5() {
+	panels := []struct {
+		n       int
+		crashes []int
+	}{
+		{3, []int{0, 1}},
+		{7, []int{0, 1, 2, 3}},
+	}
+	for _, panel := range panels {
+		fmt.Printf("# Figure 5: latency vs throughput, crash-steady, n=%d\n", panel.n)
+		header := "# throughput(1/s)"
+		for _, c := range panel.crashes {
+			header += fmt.Sprintf("\tFD_%dcr\tci\tGM_%dcr\tci", c, c)
+		}
+		fmt.Println(header)
+		for _, thr := range throughputs() {
+			row := fmt.Sprintf("%.0f", thr)
+			for _, crashes := range panel.crashes {
+				fdCfg := steadyCfg(repro.FD, panel.n, thr)
+				gmCfg := steadyCfg(repro.GM, panel.n, thr)
+				for k := 0; k < crashes; k++ {
+					// Crash the highest PIDs: non-coordinator processes,
+					// matching the paper's Fig. 5 presentation.
+					fdCfg.Crashed = append(fdCfg.Crashed, pid(panel.n-1-k))
+					gmCfg.Crashed = append(gmCfg.Crashed, pid(panel.n-1-k))
+				}
+				row += "\t" + cell(repro.RunSteady(fdCfg)) + "\t" + cell(repro.RunSteady(gmCfg))
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+}
+
+func fig6() {
+	tmrs := []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 100000, 1000000}
+	if *quickFlag {
+		tmrs = []float64{10, 100, 1000, 10000, 1000000}
+	}
+	panels := []struct {
+		n   int
+		thr float64
+	}{
+		{3, 10}, {7, 10}, {3, 300}, {7, 300},
+	}
+	for _, panel := range panels {
+		fmt.Printf("# Figure 6: latency vs TMR, suspicion-steady, TM=0, n=%d, throughput=%.0f/s\n",
+			panel.n, panel.thr)
+		fmt.Println("# TMR(ms)\tFD_lat(ms)\tFD_ci\tGM_lat(ms)\tGM_ci")
+		for _, tmr := range tmrs {
+			qos := repro.Detectors(0, tmr, 0)
+			fdCfg := steadyCfg(repro.FD, panel.n, panel.thr)
+			fdCfg.QoS = qos
+			gmCfg := steadyCfg(repro.GM, panel.n, panel.thr)
+			gmCfg.QoS = qos
+			fmt.Printf("%.0f\t%s\t%s\n", tmr,
+				cell(repro.RunSteady(fdCfg)), cell(repro.RunSteady(gmCfg)))
+		}
+		fmt.Println()
+	}
+}
+
+func fig7() {
+	tms := []float64{1, 3, 10, 30, 100, 300, 1000}
+	if *quickFlag {
+		tms = []float64{1, 10, 100, 1000}
+	}
+	panels := []struct {
+		n   int
+		thr float64
+		tmr float64
+	}{
+		{3, 10, 1000}, {7, 10, 10000}, {3, 300, 10000}, {7, 300, 100000},
+	}
+	for _, panel := range panels {
+		fmt.Printf("# Figure 7: latency vs TM, suspicion-steady, n=%d, throughput=%.0f/s, TMR=%.0fms\n",
+			panel.n, panel.thr, panel.tmr)
+		fmt.Println("# TM(ms)\tFD_lat(ms)\tFD_ci\tGM_lat(ms)\tGM_ci")
+		for _, tm := range tms {
+			qos := repro.Detectors(0, panel.tmr, tm)
+			fdCfg := steadyCfg(repro.FD, panel.n, panel.thr)
+			fdCfg.QoS = qos
+			gmCfg := steadyCfg(repro.GM, panel.n, panel.thr)
+			gmCfg.QoS = qos
+			fmt.Printf("%.0f\t%s\t%s\n", tm,
+				cell(repro.RunSteady(fdCfg)), cell(repro.RunSteady(gmCfg)))
+		}
+		fmt.Println()
+	}
+}
+
+func fig8() {
+	tds := []float64{0, 10, 100}
+	thrs := throughputs()
+	reps := 10
+	if *quickFlag {
+		reps = 5
+	}
+	if *repsFlag > 0 {
+		reps = *repsFlag
+	}
+	for _, n := range []int{3, 7} {
+		fmt.Printf("# Figure 8: latency overhead (L - TD) vs throughput, crash-transient,\n")
+		fmt.Printf("# crash of the coordinator/sequencer p0 at the broadcast instant, n=%d\n", n)
+		header := "# throughput(1/s)"
+		for _, td := range tds {
+			header += fmt.Sprintf("\tFD_TD%.0f\tci\tGM_TD%.0f\tci", td, td)
+		}
+		fmt.Println(header)
+		for _, thr := range thrs {
+			row := fmt.Sprintf("%.0f", thr)
+			for _, td := range tds {
+				for _, alg := range []repro.Algorithm{repro.FD, repro.GM} {
+					cfg := repro.TransientConfig{
+						Config: repro.Config{
+							Algorithm:    alg,
+							N:            n,
+							Throughput:   thr,
+							QoS:          repro.Detectors(td, 0, 0),
+							Seed:         *seedFlag,
+							Warmup:       time.Second,
+							Drain:        20 * time.Second,
+							Replications: reps,
+						},
+						Crash: 0,
+					}
+					var res repro.TransientResult
+					if *quickFlag {
+						cfg.Sender = 1
+						res = repro.RunTransient(cfg)
+					} else {
+						res = repro.WorstCaseTransient(cfg, false)
+					}
+					if res.Overhead.N == 0 {
+						row += "\tlost\tlost"
+					} else {
+						row += fmt.Sprintf("\t%.2f\t%.2f", res.Overhead.Mean, res.Overhead.CI95)
+					}
+				}
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+}
+
+func ablations() {
+	// Ablation A: the §7 coordinator renumbering optimisation,
+	// crash-steady with the round-1 coordinator long dead.
+	fmt.Println("# Ablation A: FD coordinator renumbering, crash-steady with p0 crashed, n=3")
+	fmt.Println("# throughput(1/s)\trenumber_on(ms)\tci\trenumber_off(ms)\tci")
+	for _, thr := range []float64{10, 100, 300, 500} {
+		onCfg := steadyCfg(repro.FD, 3, thr)
+		onCfg.Crashed = []repro.ProcessID{0}
+		offCfg := steadyCfg(repro.FD, 3, thr)
+		offCfg.Crashed = []repro.ProcessID{0}
+		offCfg.DisableRenumber = true
+		fmt.Printf("%.0f\t%s\t%s\n", thr,
+			cell(repro.RunSteady(onCfg)), cell(repro.RunSteady(offCfg)))
+	}
+	fmt.Println()
+
+	// Ablation B: the §8 non-uniform sequencer variant.
+	fmt.Println("# Ablation B: GM uniform vs non-uniform (§8), normal-steady, n=3")
+	fmt.Println("# throughput(1/s)\tuniform(ms)\tci\tnonuniform(ms)\tci")
+	for _, thr := range []float64{10, 100, 300, 500, 700} {
+		uni := repro.RunSteady(steadyCfg(repro.GM, 3, thr))
+		non := repro.RunSteady(steadyCfg(repro.GMNonUniform, 3, thr))
+		fmt.Printf("%.0f\t%s\t%s\n", thr, cell(uni), cell(non))
+	}
+	fmt.Println()
+
+	// Ablation C: the λ parameter of the network model (§6.1). The DSN
+	// paper presents λ=1; the extended TR sweeps it.
+	fmt.Println("# Ablation C: lambda sweep, normal-steady, n=3, throughput=100/s")
+	fmt.Println("# lambda\tFD_lat(ms)\tci")
+	for _, lambda := range []float64{0.5, 1, 2, 4} {
+		cfg := steadyCfg(repro.FD, 3, 100)
+		cfg.Lambda = lambda
+		fmt.Printf("%.1f\t%s\n", lambda, cell(repro.RunSteady(cfg)))
+	}
+	fmt.Println()
+}
+
+// pid converts an int to the facade's process identifier type used in
+// Config.Crashed.
+func pid(p int) repro.ProcessID { return repro.ProcessID(p) }

@@ -1,0 +1,545 @@
+// Package consensus implements the Chandra–Toueg ♦S consensus algorithm
+// (Chandra & Toueg, "Unreliable failure detectors for reliable distributed
+// systems", JACM 1996) with the practical optimisations the paper alludes
+// to ("we included some easy optimizations in the algorithm", §4.1):
+//
+//   - Round-1 fast path: in the first round every timestamp is zero, so
+//     the coordinator proposes its own initial value immediately, without
+//     a phase-1 estimate exchange. A failure-free instance therefore costs
+//     exactly proposal + acks + decision — the message pattern of Fig. 1.
+//
+//   - Lazy rounds: a process stays in round r until it has a reason to
+//     leave (it suspects the coordinator, or learns the round was aborted,
+//     or sees a higher round). The unconditional round-advance of the
+//     textbook algorithm would add n estimate messages per instance even
+//     in failure-free runs, breaking the Fig. 1 pattern.
+//
+//   - Explicit aborts: when the coordinator of round r receives a nack it
+//     multicasts an abort for round r, so processes blocked waiting for
+//     the decision of r move to round r+1 together. This reproduces the
+//     paper's §4.4 cost model: one wrong suspicion of the coordinator
+//     costs about one extra round (3 communication steps, 1 multicast and
+//     about 2n unicasts).
+//
+//   - Decision forwarding: a decided process answers late estimates and
+//     nacks with the decision, guaranteeing termination for stragglers.
+//
+// The instance takes a participant list, so the group-membership service
+// can run consensus among the members of the current view only; the
+// rotating-coordinator order starts at an arbitrary participant, which is
+// what the crash-steady renumbering optimisation of §7 plugs into.
+//
+// Safety rests on the classic ♦S argument, untouched by the optimisations:
+// the coordinator of round r proposes the estimate with the highest
+// timestamp among a majority, a process acks at most once per round and
+// never for a round below its current one, and a decision requires a
+// majority of acks.
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+)
+
+// Value is an opaque consensus value. Instances never inspect it beyond
+// nil checks: a nil value means "no initial value yet" and is never
+// proposed or decided.
+type Value any
+
+// Msg is implemented by all consensus message types. The embedding
+// protocol wraps Msg values with an instance tag before handing them to
+// the transport.
+type Msg interface{ isConsensusMsg() }
+
+// MsgEstimate is the phase-1 message of rounds r ≥ 2: a participant sends
+// its current estimate and timestamp to the round's coordinator.
+type MsgEstimate struct {
+	Round int
+	Est   Value
+	Ts    int
+}
+
+// MsgPropose is the coordinator's phase-2 proposal for a round.
+type MsgPropose struct {
+	Round int
+	Est   Value
+}
+
+// MsgAck is a positive phase-3 reply to a proposal.
+type MsgAck struct{ Round int }
+
+// MsgNack is a negative phase-3 reply: the sender suspects the round's
+// coordinator and has moved on.
+type MsgNack struct{ Round int }
+
+// MsgAbort is multicast by a round's coordinator after receiving a nack:
+// everyone still in the round moves to the next one.
+type MsgAbort struct{ Round int }
+
+// MsgDecide carries the decision. Proposer is the coordinator whose
+// proposal was decided; the crash-steady renumbering optimisation makes it
+// the first coordinator of the next instance.
+type MsgDecide struct {
+	Val      Value
+	Proposer proto.PID
+}
+
+func (MsgEstimate) isConsensusMsg() {}
+func (MsgPropose) isConsensusMsg()  {}
+func (MsgAck) isConsensusMsg()      {}
+func (MsgNack) isConsensusMsg()     {}
+func (MsgAbort) isConsensusMsg()    {}
+func (MsgDecide) isConsensusMsg()   {}
+
+// Transport sends instance messages on behalf of the instance. The
+// embedding protocol adds its instance tag and routes through the network.
+// Send(self) must deliver locally; Multicast must deliver to all
+// participants including the sender.
+type Transport interface {
+	Send(to proto.PID, m Msg)
+	Multicast(m Msg)
+}
+
+// Config parameterises one consensus instance.
+type Config struct {
+	// Self is the local process.
+	Self proto.PID
+	// Participants lists the processes running this instance, in
+	// coordinator-rotation order. It must be non-empty and contain Self.
+	Participants []proto.PID
+	// FirstCoord is the participant that coordinates round 1. The zero
+	// value of a PID is participant 0's ID only by accident: a negative
+	// value selects Participants[0]. The crash-steady renumbering
+	// optimisation passes the previous decision's proposer here.
+	FirstCoord proto.PID
+	// Suspects reports the local failure detector's current output.
+	Suspects func(p proto.PID) bool
+	// Decide is the decision upcall; it fires exactly once.
+	Decide func(v Value, proposer proto.PID)
+	// RefreshEstimate, if non-nil, supplies the freshest initial value
+	// when a timestamp-zero estimate is sent (rounds ≥ 2). The FD atomic
+	// broadcast uses it to propose its current pending set.
+	RefreshEstimate func() Value
+}
+
+type phase int
+
+const (
+	phaseWaitPropose phase = iota + 1 // waiting for the coordinator's proposal
+	phaseWaitDecide                   // acked; waiting for decision or abort
+	phaseDone                         // decided
+)
+
+// roundState is the coordinator-side bookkeeping for one round. It exists
+// at a process only for rounds it coordinates.
+type roundState struct {
+	estimates map[proto.PID]estCand
+	acks      map[proto.PID]bool
+	proposed  bool
+	proposal  Value
+	aborted   bool
+}
+
+type estCand struct {
+	est Value
+	ts  int
+}
+
+// Instance is one consensus execution at one process. It is purely
+// event-driven: feed it messages with OnMessage and failure-detector
+// edges with OnSuspect.
+type Instance struct {
+	cfg       Config
+	tr        Transport
+	coordBase int // index of FirstCoord within Participants
+	majority  int
+
+	// Participant state.
+	started  bool
+	estimate Value
+	ts       int
+	round    int
+	phase    phase
+
+	// Coordinator state, keyed by round.
+	rounds map[int]*roundState
+
+	// Decision state.
+	decided   bool
+	decision  Value
+	proposer  proto.PID
+	forwarded map[proto.PID]bool
+	relayed   bool
+	closed    bool
+}
+
+// New creates an instance. It panics on malformed configuration: instances
+// are constructed by protocol code, not from external input.
+func New(cfg Config, tr Transport) *Instance {
+	if len(cfg.Participants) == 0 {
+		panic("consensus: no participants")
+	}
+	if cfg.Decide == nil {
+		panic("consensus: nil Decide callback")
+	}
+	if cfg.Suspects == nil {
+		panic("consensus: nil Suspects callback")
+	}
+	base := -1
+	selfIn := false
+	for i, p := range cfg.Participants {
+		if p == cfg.FirstCoord {
+			base = i
+		}
+		if p == cfg.Self {
+			selfIn = true
+		}
+	}
+	if !selfIn {
+		panic(fmt.Sprintf("consensus: self %d not among participants %v", cfg.Self, cfg.Participants))
+	}
+	if base < 0 {
+		base = 0
+	}
+	inst := &Instance{
+		cfg:       cfg,
+		tr:        tr,
+		coordBase: base,
+		majority:  len(cfg.Participants)/2 + 1,
+		round:     1,
+		phase:     phaseWaitPropose,
+		rounds:    make(map[int]*roundState),
+		forwarded: make(map[proto.PID]bool),
+	}
+	return inst
+}
+
+// Coordinator returns the coordinator of round r (1-based).
+func (in *Instance) Coordinator(r int) proto.PID {
+	n := len(in.cfg.Participants)
+	return in.cfg.Participants[(in.coordBase+r-1)%n]
+}
+
+// Decided reports whether the instance has decided locally.
+func (in *Instance) Decided() bool { return in.decided }
+
+// Decision returns the decided value and its proposer; it is only
+// meaningful once Decided reports true.
+func (in *Instance) Decision() (Value, proto.PID) { return in.decision, in.proposer }
+
+// Round returns the participant round, for diagnostics.
+func (in *Instance) Round() int { return in.round }
+
+// Start supplies the local initial value (proposal). A nil value is
+// ignored. Starting twice keeps the first value. If this process
+// coordinates round 1, it proposes immediately — the round-1 fast path.
+func (in *Instance) Start(v Value) {
+	if in.decided || v == nil {
+		return
+	}
+	in.started = true
+	if in.estimate == nil {
+		in.estimate = v
+	}
+	// The initial value doubles as this process's round-1 estimate; if we
+	// coordinate round 1 we can propose it without a phase-1 exchange.
+	if in.Coordinator(1) == in.cfg.Self {
+		rs := in.roundState(1)
+		if cand, ok := rs.estimates[in.cfg.Self]; !ok || cand.est == nil {
+			rs.estimates[in.cfg.Self] = estCand{est: in.estimate, ts: in.ts}
+		}
+		in.tryPropose(1)
+	}
+	// Catch-up: if messages dragged us past round 1 before we had a
+	// value, our estimate for the current round was nil; nothing to redo —
+	// rounds ≥ 2 estimates were sent with RefreshEstimate or nil and the
+	// coordinator waits for a non-nil candidate.
+	in.checkSuspicion()
+}
+
+// OnMessage feeds one consensus message from a peer (or from the process
+// itself, via local delivery) into the state machine.
+func (in *Instance) OnMessage(from proto.PID, m Msg) {
+	switch msg := m.(type) {
+	case MsgEstimate:
+		in.onEstimate(from, msg)
+	case MsgPropose:
+		in.onPropose(from, msg)
+	case MsgAck:
+		in.onAck(from, msg)
+	case MsgNack:
+		in.onNack(from, msg)
+	case MsgAbort:
+		in.onAbort(msg)
+	case MsgDecide:
+		in.decideNow(msg.Val, msg.Proposer)
+	default:
+		panic(fmt.Sprintf("consensus: unknown message %T", m))
+	}
+}
+
+// OnSuspect feeds a failure-detector suspicion edge. Before the decision,
+// only suspicion of the current round's coordinator matters — which is why
+// the FD algorithm is cheap under wrong suspicions of bystanders. After
+// the decision, suspicion of the decision's proposer triggers the lazy
+// reliable-broadcast relay (Frolund/Pedone): the decision is re-multicast
+// once, so correct processes that missed the (possibly crashed) proposer's
+// multicast still decide.
+func (in *Instance) OnSuspect(p proto.PID) {
+	if in.decided {
+		if p == in.proposer {
+			in.relayDecision()
+		}
+		return
+	}
+	if p != in.Coordinator(in.round) {
+		return
+	}
+	switch in.phase {
+	case phaseWaitPropose:
+		// Classic phase 3: nack tells a live coordinator to abort.
+		in.tr.Send(in.Coordinator(in.round), MsgNack{Round: in.round})
+		in.enterRound(in.round + 1)
+	case phaseWaitDecide:
+		// Already acked; the decision may never come if the coordinator
+		// crashed after proposing. Move on silently.
+		in.enterRound(in.round + 1)
+	}
+}
+
+// roundState returns (creating if needed) the coordinator bookkeeping for
+// round r.
+func (in *Instance) roundState(r int) *roundState {
+	rs, ok := in.rounds[r]
+	if !ok {
+		rs = &roundState{
+			estimates: make(map[proto.PID]estCand),
+			acks:      make(map[proto.PID]bool),
+		}
+		in.rounds[r] = rs
+	}
+	return rs
+}
+
+// enterRound moves the participant to round r and sends its estimate to
+// the new coordinator (rounds ≥ 2; round 1 has no estimate phase). If the
+// new coordinator is already suspected the process nacks and advances
+// again — bounded by the rotation returning to self, which is never
+// self-suspected.
+func (in *Instance) enterRound(r int) {
+	if in.decided {
+		return
+	}
+	in.round = r
+	in.phase = phaseWaitPropose
+	if r > 1 {
+		est := in.estimate
+		if in.ts == 0 && in.cfg.RefreshEstimate != nil {
+			if fresh := in.cfg.RefreshEstimate(); fresh != nil {
+				est = fresh
+				in.estimate = fresh
+			}
+		}
+		in.tr.Send(in.Coordinator(r), MsgEstimate{Round: r, Est: est, Ts: in.ts})
+	}
+	in.checkSuspicion()
+}
+
+// checkSuspicion applies the phase-3 suspicion rule against the current
+// failure-detector output, used when entering a round or receiving a
+// proposal while a mistake is in progress.
+func (in *Instance) checkSuspicion() {
+	if in.decided || in.phase != phaseWaitPropose {
+		return
+	}
+	c := in.Coordinator(in.round)
+	if c != in.cfg.Self && in.cfg.Suspects(c) {
+		in.tr.Send(c, MsgNack{Round: in.round})
+		in.enterRound(in.round + 1)
+	}
+}
+
+// onEstimate handles coordinator duty for round msg.Round, independent of
+// the local participant round: estimates are buffered until a majority
+// (with at least one usable value) is available.
+func (in *Instance) onEstimate(from proto.PID, msg MsgEstimate) {
+	if in.decided {
+		in.forwardDecision(from)
+		return
+	}
+	if in.Coordinator(msg.Round) != in.cfg.Self {
+		return // misrouted; cannot happen with a correct transport
+	}
+	rs := in.roundState(msg.Round)
+	if _, dup := rs.estimates[from]; !dup {
+		rs.estimates[from] = estCand{est: msg.Est, ts: msg.Ts}
+	}
+	in.tryPropose(msg.Round)
+}
+
+// tryPropose proposes for round r once a majority of estimates (including
+// a non-nil candidate) is available: the candidate with the highest
+// timestamp wins — the ♦S locking rule — with ties broken toward non-nil
+// values from the lowest process ID.
+func (in *Instance) tryPropose(r int) {
+	rs := in.roundState(r)
+	if rs.proposed || rs.aborted || in.decided {
+		return
+	}
+	if r == 1 {
+		// Fast path: the round-1 coordinator proposes its own initial
+		// value; no estimate quorum is needed because every timestamp in
+		// the system is still zero.
+		cand, ok := rs.estimates[in.cfg.Self]
+		if !ok || cand.est == nil {
+			return
+		}
+		rs.proposed = true
+		rs.proposal = cand.est
+		in.tr.Multicast(MsgPropose{Round: 1, Est: cand.est})
+		return
+	}
+	if len(rs.estimates) < in.majority {
+		return
+	}
+	best := estCand{}
+	bestFrom := proto.PID(-1)
+	for _, p := range in.cfg.Participants { // deterministic iteration order
+		cand, ok := rs.estimates[p]
+		if !ok || cand.est == nil {
+			continue
+		}
+		if bestFrom < 0 || cand.ts > best.ts {
+			best = cand
+			bestFrom = p
+		}
+	}
+	if bestFrom < 0 {
+		return // majority of nil estimates: wait for a process with a value
+	}
+	rs.proposed = true
+	rs.proposal = best.est
+	in.tr.Multicast(MsgPropose{Round: r, Est: best.est})
+}
+
+// onPropose handles the participant side of a proposal.
+func (in *Instance) onPropose(from proto.PID, msg MsgPropose) {
+	if in.decided {
+		return
+	}
+	r := msg.Round
+	switch {
+	case r < in.round:
+		return // stale round
+	case r == in.round && in.phase != phaseWaitPropose:
+		return // already acked this round
+	}
+	// Catch up to round r as a participant.
+	in.round = r
+	in.phase = phaseWaitPropose
+	c := in.Coordinator(r)
+	if c != in.cfg.Self && in.cfg.Suspects(c) {
+		// The ♦S phase-3 disjunction resolved to "suspect" before the
+		// proposal was processed.
+		in.tr.Send(c, MsgNack{Round: r})
+		in.enterRound(r + 1)
+		return
+	}
+	in.estimate = msg.Est
+	in.ts = r
+	in.started = true
+	in.phase = phaseWaitDecide
+	in.tr.Send(c, MsgAck{Round: r})
+}
+
+// onAck handles coordinator duty: count acks, decide on a majority.
+func (in *Instance) onAck(from proto.PID, msg MsgAck) {
+	if in.decided {
+		return
+	}
+	if in.Coordinator(msg.Round) != in.cfg.Self {
+		return
+	}
+	rs := in.roundState(msg.Round)
+	rs.acks[from] = true
+	if rs.proposed && len(rs.acks) >= in.majority {
+		v := rs.proposal
+		in.tr.Multicast(MsgDecide{Val: v, Proposer: in.cfg.Self})
+		in.decideNow(v, in.cfg.Self)
+	}
+}
+
+// onNack handles coordinator duty: the round is burned, tell everyone.
+func (in *Instance) onNack(from proto.PID, msg MsgNack) {
+	if in.decided {
+		in.forwardDecision(from)
+		return
+	}
+	if in.Coordinator(msg.Round) != in.cfg.Self {
+		return
+	}
+	rs := in.roundState(msg.Round)
+	if rs.aborted {
+		return
+	}
+	rs.aborted = true
+	in.tr.Multicast(MsgAbort{Round: msg.Round})
+	// The abort reaches us through local delivery and advances our own
+	// participant state in onAbort.
+}
+
+// onAbort moves the participant past an aborted round.
+func (in *Instance) onAbort(msg MsgAbort) {
+	if in.decided {
+		return
+	}
+	if in.round <= msg.Round {
+		in.enterRound(msg.Round + 1)
+	}
+}
+
+// decideNow finalises the decision exactly once. If the proposer is
+// already suspected at decision time, the relay fires immediately — the
+// suspicion edge that would have triggered it has already passed.
+func (in *Instance) decideNow(v Value, proposer proto.PID) {
+	if in.decided {
+		return
+	}
+	in.decided = true
+	in.decision = v
+	in.proposer = proposer
+	in.phase = phaseDone
+	in.cfg.Decide(v, proposer)
+	if proposer != in.cfg.Self && in.cfg.Suspects(proposer) {
+		in.relayDecision()
+	}
+}
+
+// relayDecision re-multicasts the decision, at most once, while the
+// instance is still open. This is the lazy reliable broadcast of the
+// decision: free when nobody suspects the proposer (the common case), one
+// multicast per suspecting process otherwise.
+func (in *Instance) relayDecision() {
+	if in.relayed || in.closed {
+		return
+	}
+	in.relayed = true
+	in.tr.Multicast(MsgDecide{Val: in.decision, Proposer: in.proposer})
+}
+
+// Close marks the instance as old: the embedding protocol has moved on and
+// suspicion-triggered decision relays stop (decision forwarding to
+// explicitly late peers continues). Closing bounds relay traffic in long
+// runs with wrong suspicions.
+func (in *Instance) Close() { in.closed = true }
+
+// forwardDecision unicasts the decision to a process that demonstrably has
+// not decided yet (it sent an estimate or nack). At most one copy per peer.
+func (in *Instance) forwardDecision(to proto.PID) {
+	if to == in.cfg.Self || in.forwarded[to] {
+		return
+	}
+	in.forwarded[to] = true
+	in.tr.Send(to, MsgDecide{Val: in.decision, Proposer: in.proposer})
+}

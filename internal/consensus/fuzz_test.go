@@ -1,0 +1,98 @@
+package consensus
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// FuzzScheduleAgreement drives a 3-process consensus with a byte-string
+// interpreted as a schedule of deliveries, crashes and suspicions, and
+// asserts agreement + validity at quiescence. Without -fuzz it runs the
+// seed corpus as regular tests; with -fuzz it explores schedules.
+func FuzzScheduleAgreement(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x11, 0x22, 0x33, 0x44})
+	f.Add([]byte{0xff, 0x0f, 0xf0, 0x55, 0xaa, 0x01, 0x02, 0x03})
+	f.Add([]byte("delivery order fuzzing"))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		n := newTestNet(pids(3)...)
+		n.build(0)
+		proposals := map[proto.PID]Value{}
+		for _, p := range n.participants {
+			proposals[p] = fmt.Sprintf("v%d", p)
+			n.insts[p].Start(proposals[p])
+		}
+		crashBudget := 1
+		for _, b := range script {
+			switch b % 4 {
+			case 0: // deliver the message at index b%len(queue)
+				if len(n.queue) > 0 {
+					i := int(b) % len(n.queue)
+					q := n.queue[i]
+					n.queue = append(n.queue[:i], n.queue[i+1:]...)
+					if !n.crashed[q.to] {
+						n.insts[q.to].OnMessage(q.from, q.m)
+					}
+				}
+			case 1: // crash
+				victim := proto.PID(b) % 3
+				if crashBudget > 0 && !n.crashed[victim] {
+					n.crash(victim)
+					crashBudget--
+				}
+			case 2: // transient suspicion
+				q := proto.PID(b) % 3
+				p := proto.PID(b>>2) % 3
+				if q != p && !n.crashed[q] {
+					n.suspect(q, p)
+					n.trust(q, p)
+				}
+			case 3: // deliver head
+				if len(n.queue) > 0 {
+					q := n.queue[0]
+					n.queue = n.queue[1:]
+					if !n.crashed[q.to] {
+						n.insts[q.to].OnMessage(q.from, q.m)
+					}
+				}
+			}
+		}
+		// Quiesce: complete detection and drain.
+		n.completeFD()
+		n.runFIFO()
+		n.completeFD()
+		n.runFIFO()
+
+		// Safety: all decided values equal and valid.
+		var ref Value
+		have := false
+		for _, p := range n.participants {
+			v, ok := n.decisions[p]
+			if !ok {
+				if !n.crashed[p] {
+					t.Fatalf("correct process %d undecided at quiescence", p)
+				}
+				continue
+			}
+			if !have {
+				ref, have = v, true
+			} else if !reflect.DeepEqual(ref, v) {
+				t.Fatalf("disagreement: %v vs %v", ref, v)
+			}
+		}
+		if have {
+			valid := false
+			for _, prop := range proposals {
+				if reflect.DeepEqual(prop, ref) {
+					valid = true
+				}
+			}
+			if !valid {
+				t.Fatalf("decided value %v was never proposed", ref)
+			}
+		}
+	})
+}

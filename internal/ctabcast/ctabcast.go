@@ -1,0 +1,371 @@
+// Package ctabcast implements the Chandra–Toueg uniform atomic broadcast
+// algorithm — the paper's "FD algorithm" (§4.1). It uses unreliable
+// failure detectors directly:
+//
+//   - A-broadcast(m) reliably broadcasts m to all processes (one multicast
+//     in the common case, see internal/rbcast).
+//   - Received messages are buffered until their delivery position is
+//     decided by a sequence of consensus instances #1, #2, ...; the value
+//     of each instance is a set of message IDs.
+//   - The messages decided by instance k are A-delivered before those of
+//     instance k+1, and within a batch in the deterministic ID order.
+//
+// Aggregation falls out naturally: while instance k runs, arriving
+// messages accumulate and instance k+1 orders them all at once — the
+// mechanism that lets the algorithm "tolerate high load" (§4).
+//
+// The package also implements the crash-steady optimisation of §7: each
+// decision carries its proposer, and subsequent instances rotate their
+// coordinator order to start at that proposer, so crashed processes
+// eventually stop being round-1 coordinators at no extra message cost.
+package ctabcast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/proto"
+	"repro/internal/rbcast"
+)
+
+// consMsg tags a consensus message with its instance number.
+type consMsg struct {
+	K uint64
+	M consensus.Msg
+}
+
+// String names the wrapped message for traces: "MsgPropose[k=3]".
+func (m consMsg) String() string {
+	name := fmt.Sprintf("%T", m.M)
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s[k=%d]", name, m.K)
+}
+
+// Config parameterises the FD algorithm at one process.
+type Config struct {
+	// Deliver is the A-deliver upcall, invoked in total order.
+	Deliver func(id proto.MsgID, body any)
+	// Renumber enables the coordinator renumbering optimisation: the
+	// proposer of decision k coordinates round 1 of instance k+1. All
+	// processes must agree on this setting.
+	Renumber bool
+	// InstanceWindow bounds how many finished consensus instances are
+	// retained for decision forwarding to stragglers. Zero selects a
+	// sensible default.
+	InstanceWindow int
+}
+
+const defaultInstanceWindow = 64
+
+// Process is the FD atomic broadcast endpoint at one process. It
+// implements proto.Handler.
+type Process struct {
+	rt  proto.Runtime
+	cfg Config
+	rb  *rbcast.Broadcaster
+
+	all []proto.PID // all process IDs, the fixed participant set
+
+	pending    map[proto.MsgID]struct{} // received, not yet A-delivered
+	bodies     map[proto.MsgID]any
+	adelivered *proto.IDTracker
+
+	instances   map[uint64]*consensus.Instance
+	decisions   map[uint64][]proto.MsgID
+	proposers   map[uint64]proto.PID
+	buffered    map[uint64][]bufferedMsg // consensus msgs for instances we cannot build yet
+	nextDeliver uint64                   // lowest instance whose decision is still undelivered
+	firstCoord  proto.PID                // round-1 coordinator of instance nextDeliver
+	oldest      uint64                   // lowest retained instance
+}
+
+type bufferedMsg struct {
+	from proto.PID
+	m    consensus.Msg
+}
+
+var _ proto.Handler = (*Process)(nil)
+
+// New creates the FD algorithm endpoint for the process behind rt.
+func New(rt proto.Runtime, cfg Config) *Process {
+	if cfg.Deliver == nil {
+		panic("ctabcast: nil Deliver")
+	}
+	if cfg.InstanceWindow <= 0 {
+		cfg.InstanceWindow = defaultInstanceWindow
+	}
+	p := &Process{
+		rt:          rt,
+		cfg:         cfg,
+		pending:     make(map[proto.MsgID]struct{}),
+		bodies:      make(map[proto.MsgID]any),
+		adelivered:  proto.NewIDTracker(),
+		instances:   make(map[uint64]*consensus.Instance),
+		decisions:   make(map[uint64][]proto.MsgID),
+		proposers:   make(map[uint64]proto.PID),
+		buffered:    make(map[uint64][]bufferedMsg),
+		nextDeliver: 1,
+		oldest:      1,
+	}
+	p.all = make([]proto.PID, rt.N())
+	for i := range p.all {
+		p.all[i] = proto.PID(i)
+	}
+	p.rb = rbcast.New(rbcast.Config{
+		Self:      rt.ID(),
+		Multicast: func(m rbcast.Msg) { rt.Multicast(m) },
+		Deliver:   p.onRBDeliver,
+	})
+	return p
+}
+
+// Init implements proto.Handler.
+func (p *Process) Init() {}
+
+// ABroadcast atomically broadcasts body and returns its message ID.
+func (p *Process) ABroadcast(body any) proto.MsgID {
+	return p.rb.Broadcast(body)
+}
+
+// OnMessage implements proto.Handler.
+func (p *Process) OnMessage(from proto.PID, payload any) {
+	switch m := payload.(type) {
+	case rbcast.Msg:
+		p.rb.OnMessage(m)
+	case consMsg:
+		p.onConsensusMsg(from, m)
+	default:
+		panic(fmt.Sprintf("ctabcast: unknown payload %T", payload))
+	}
+}
+
+// OnSuspect implements proto.Handler: suspicion edges feed the reliable
+// broadcast relay and every live consensus instance.
+func (p *Process) OnSuspect(q proto.PID) {
+	p.rb.OnSuspect(q)
+	for _, inst := range p.instances {
+		inst.OnSuspect(q)
+	}
+}
+
+// OnTrust implements proto.Handler. The FD algorithm is insensitive to
+// trust edges: a burned round is never revisited.
+func (p *Process) OnTrust(proto.PID) {}
+
+// Pending returns the number of messages awaiting ordering (diagnostics).
+func (p *Process) Pending() int { return len(p.pending) }
+
+// NextInstance returns the lowest undelivered consensus instance
+// (diagnostics).
+func (p *Process) NextInstance() uint64 { return p.nextDeliver }
+
+// onRBDeliver receives a reliably-broadcast message exactly once.
+func (p *Process) onRBDeliver(id proto.MsgID, body any) {
+	if p.adelivered.Seen(id) {
+		return
+	}
+	p.bodies[id] = body
+	p.pending[id] = struct{}{}
+	// A decided batch may have been stalled waiting for this body.
+	p.drainDecisions()
+	p.maybePropose()
+}
+
+// maybePropose starts (or feeds a value into) the current consensus
+// instance when there are unordered messages.
+func (p *Process) maybePropose() {
+	if len(p.pending) == 0 {
+		return
+	}
+	inst := p.instance(p.nextDeliver)
+	if inst.Decided() {
+		return // drainDecisions will open the next instance
+	}
+	inst.Start(p.proposal())
+}
+
+// proposal snapshots the pending set in canonical order.
+func (p *Process) proposal() consensus.Value {
+	ids := make([]proto.MsgID, 0, len(p.pending))
+	for id := range p.pending {
+		ids = append(ids, id)
+	}
+	proto.SortMsgIDs(ids)
+	return ids
+}
+
+// instance returns (creating on demand) the consensus instance k.
+// Callers must ensure the first coordinator for k is known:
+// k <= nextDeliver, or renumbering disabled.
+func (p *Process) instance(k uint64) *consensus.Instance {
+	inst, ok := p.instances[k]
+	if ok {
+		return inst
+	}
+	first := proto.PID(0)
+	if p.cfg.Renumber {
+		first = p.firstCoordFor(k)
+	}
+	k0 := k
+	inst = consensus.New(consensus.Config{
+		Self:         p.rt.ID(),
+		Participants: p.all,
+		FirstCoord:   first,
+		Suspects:     p.rt.Suspects,
+		Decide:       func(v consensus.Value, proposer proto.PID) { p.onDecide(k0, v, proposer) },
+		RefreshEstimate: func() consensus.Value {
+			if len(p.pending) == 0 {
+				return nil
+			}
+			return p.proposal()
+		},
+	}, consTransport{p: p, k: k})
+	p.instances[k] = inst
+	return inst
+}
+
+// firstCoordFor returns the round-1 coordinator of instance k under the
+// renumbering optimisation. It is only defined for k <= nextDeliver (the
+// proposers of all earlier instances are known).
+func (p *Process) firstCoordFor(k uint64) proto.PID {
+	if k == p.nextDeliver {
+		return p.firstCoord
+	}
+	if prop, ok := p.proposers[k-1]; ok {
+		return prop
+	}
+	return p.firstCoord
+}
+
+// onConsensusMsg routes a consensus message to its instance, creating it
+// reactively. With renumbering, messages for instances beyond
+// nextDeliver are buffered until the earlier decisions (which determine
+// the coordinator order) arrive.
+func (p *Process) onConsensusMsg(from proto.PID, m consMsg) {
+	if m.K < p.oldest {
+		return // instance already garbage-collected; peer is far behind
+	}
+	if p.cfg.Renumber && m.K > p.nextDeliver {
+		if _, exists := p.instances[m.K]; !exists {
+			p.buffered[m.K] = append(p.buffered[m.K], bufferedMsg{from: from, m: m.M})
+			return
+		}
+	}
+	p.instance(m.K).OnMessage(from, m.M)
+}
+
+// onDecide records the decision of instance k and delivers in order.
+func (p *Process) onDecide(k uint64, v consensus.Value, proposer proto.PID) {
+	ids, ok := v.([]proto.MsgID)
+	if !ok {
+		panic(fmt.Sprintf("ctabcast: decision of unexpected type %T", v))
+	}
+	p.decisions[k] = ids
+	p.proposers[k] = proposer
+	p.drainDecisions()
+}
+
+// drainDecisions A-delivers decided batches in instance order. A batch
+// whose body has not arrived yet stalls the drain; it resumes from
+// onRBDeliver.
+func (p *Process) drainDecisions() {
+	for {
+		ids, ok := p.decisions[p.nextDeliver]
+		if !ok {
+			break
+		}
+		// All bodies must be present before the batch is delivered, so
+		// delivery of the whole batch is atomic in ID order.
+		ready := true
+		for _, id := range ids {
+			if _, have := p.bodies[id]; !have && !p.adelivered.Seen(id) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+		sorted := make([]proto.MsgID, len(ids))
+		copy(sorted, ids)
+		proto.SortMsgIDs(sorted)
+		for _, id := range sorted {
+			if !p.adelivered.Add(id) {
+				continue // decided twice across batches; deliver once
+			}
+			body := p.bodies[id]
+			delete(p.bodies, id)
+			delete(p.pending, id)
+			p.rb.MarkStable(id)
+			p.cfg.Deliver(id, body)
+		}
+		if p.cfg.Renumber {
+			p.firstCoord = p.proposers[p.nextDeliver]
+		}
+		p.nextDeliver++
+		// The previous instance's decision is now superseded by this
+		// delivery everywhere that matters: stop suspicion-triggered
+		// relays for it (decision forwarding keeps answering stragglers).
+		// Without this, a crash would trigger a relay storm across the
+		// whole retained window.
+		if p.nextDeliver >= 3 {
+			if inst, ok := p.instances[p.nextDeliver-2]; ok {
+				inst.Close()
+			}
+		}
+		p.collectGarbage()
+		p.flushBuffered()
+	}
+	p.maybePropose()
+}
+
+// flushBuffered replays consensus messages that waited for the coordinator
+// order of the now-current instance.
+func (p *Process) flushBuffered() {
+	msgs, ok := p.buffered[p.nextDeliver]
+	if !ok {
+		return
+	}
+	delete(p.buffered, p.nextDeliver)
+	for _, bm := range msgs {
+		p.instance(p.nextDeliver).OnMessage(bm.from, bm.m)
+	}
+}
+
+// collectGarbage closes and drops instances that fell out of the retention
+// window. Decision forwarding for recently finished instances keeps
+// working inside the window.
+func (p *Process) collectGarbage() {
+	if p.nextDeliver < uint64(p.cfg.InstanceWindow) {
+		return
+	}
+	floor := p.nextDeliver - uint64(p.cfg.InstanceWindow)
+	for p.oldest < floor {
+		if inst, ok := p.instances[p.oldest]; ok {
+			inst.Close()
+			delete(p.instances, p.oldest)
+		}
+		delete(p.decisions, p.oldest)
+		delete(p.proposers, p.oldest)
+		delete(p.buffered, p.oldest)
+		p.oldest++
+	}
+}
+
+// consTransport adapts the process runtime to one instance's transport,
+// adding the instance tag.
+type consTransport struct {
+	p *Process
+	k uint64
+}
+
+func (t consTransport) Send(to proto.PID, m consensus.Msg) {
+	t.p.rt.Send(to, consMsg{K: t.k, M: m})
+}
+
+func (t consTransport) Multicast(m consensus.Msg) {
+	t.p.rt.Multicast(consMsg{K: t.k, M: m})
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ctabcast"
+	"repro/internal/fd"
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+	"repro/internal/seqabcast"
+	"repro/internal/sim"
+)
+
+// runSchedule executes one algorithm against an explicit broadcast
+// schedule and returns each message's first-delivery time plus network
+// counters.
+func runSchedule(alg Algorithm, n int, schedule []scheduledSend) (map[proto.MsgID]sim.Time, netmodel.Counters) {
+	eng := sim.New()
+	sys := proto.NewSystem(eng, netmodel.DefaultConfig(n), fd.QoS{}, sim.NewRand(1))
+	first := make(map[proto.MsgID]sim.Time)
+	bcast := make([]func(any) proto.MsgID, n)
+	for i := 0; i < n; i++ {
+		deliver := func(id proto.MsgID, body any) {
+			if _, seen := first[id]; !seen {
+				first[id] = eng.Now()
+			}
+		}
+		switch alg {
+		case FD:
+			p := ctabcast.New(sys.Proc(proto.PID(i)), ctabcast.Config{Deliver: deliver, Renumber: true})
+			sys.SetHandler(proto.PID(i), p)
+			bcast[i] = p.ABroadcast
+		case GM:
+			p := seqabcast.New(sys.Proc(proto.PID(i)), seqabcast.Config{Deliver: deliver, Uniform: true})
+			sys.SetHandler(proto.PID(i), p)
+			bcast[i] = p.ABroadcast
+		}
+	}
+	sys.Start()
+	for _, s := range schedule {
+		s := s
+		eng.Schedule(s.at, func() { bcast[s.sender](nil) })
+	}
+	eng.Run()
+	return first, sys.Net.Counters()
+}
+
+type scheduledSend struct {
+	at     sim.Time
+	sender int
+}
+
+// TestMessagePatternEquivalenceProperty is the §4.4 claim as a property
+// test: for ANY failure-free arrival schedule, the FD and GM algorithms
+// produce identical first-delivery instants for every message and use the
+// wire identically.
+func TestMessagePatternEquivalenceProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := sim.NewRand(seed)
+		n := []int{3, 5, 7}[rng.Intn(3)]
+		count := 5 + rng.Intn(60)
+		schedule := make([]scheduledSend, count)
+		at := sim.Time(0)
+		for i := range schedule {
+			at = at.Add(time.Duration(rng.Intn(8000)) * time.Microsecond)
+			schedule[i] = scheduledSend{at: at, sender: rng.Intn(n)}
+		}
+		fdTimes, fdCounters := runSchedule(FD, n, schedule)
+		gmTimes, gmCounters := runSchedule(GM, n, schedule)
+		if len(fdTimes) != count || len(gmTimes) != count {
+			t.Fatalf("seed %d: delivered %d/%d messages (FD/GM), want %d",
+				seed, len(fdTimes), len(gmTimes), count)
+		}
+		for id, ft := range fdTimes {
+			gt, ok := gmTimes[id]
+			if !ok {
+				t.Fatalf("seed %d: %v missing under GM", seed, id)
+			}
+			if ft != gt {
+				t.Fatalf("seed %d: first delivery of %v differs: FD %v vs GM %v",
+					seed, id, ft, gt)
+			}
+		}
+		if fdCounters.WireSlots != gmCounters.WireSlots ||
+			fdCounters.Unicasts != gmCounters.Unicasts ||
+			fdCounters.Multicasts != gmCounters.Multicasts {
+			t.Fatalf("seed %d: wire usage differs: FD %+v vs GM %+v",
+				seed, fdCounters, gmCounters)
+		}
+	}
+}

@@ -1,0 +1,491 @@
+// Package experiment implements the paper's benchmark methodology (§5):
+// repeatable scenarios specifying the workload, the occurrence of crashes
+// and suspicions, and the latency metric, with failure detectors described
+// only by their QoS parameters.
+//
+// Latency of one atomic broadcast is the time from A-broadcast(m) to the
+// earliest A-delivery of m on any process (§5.1). A run reports the mean
+// over many messages; an experiment aggregates several independent
+// replications into a mean with a 95% confidence interval — the error
+// bars of every figure in §7.
+//
+// The four scenarios:
+//
+//   - normal-steady: no crashes, no suspicions (Fig. 4);
+//   - crash-steady: some processes crashed long before the measurement —
+//     failure detectors suspect them from the start and the GM view never
+//     contained them (Fig. 5);
+//   - suspicion-steady: no crashes, wrong suspicions at QoS (TMR, TM)
+//     (Figs. 6 and 7);
+//   - crash-transient: a forced crash of one process with a probe message
+//     A-broadcast at the crash instant; the metric is the probe's latency,
+//     worst-cased over the crashed/sender pair (Fig. 8).
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ctabcast"
+	"repro/internal/fd"
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+	"repro/internal/seqabcast"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Algorithm selects which atomic broadcast runs.
+type Algorithm int
+
+// The algorithms under comparison.
+const (
+	// FD is the Chandra–Toueg atomic broadcast on unreliable failure
+	// detectors (§4.1).
+	FD Algorithm = iota + 1
+	// GM is the fixed-sequencer atomic broadcast on group membership
+	// (§4.2), uniform variant.
+	GM
+	// GMNonUniform is the two-multicast non-uniform variant (§8).
+	GMNonUniform
+)
+
+// String returns the short name used in figure legends.
+func (a Algorithm) String() string {
+	switch a {
+	case FD:
+		return "FD"
+	case GM:
+		return "GM"
+	case GMNonUniform:
+		return "GM-nu"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config describes one experiment point.
+type Config struct {
+	// Algorithm selects the protocol under test.
+	Algorithm Algorithm
+	// N is the number of processes (the paper uses 3 and 7).
+	N int
+	// Throughput is the overall nominal A-broadcast rate in messages per
+	// second; each process sends at Throughput/N.
+	Throughput float64
+	// Lambda is the network model's CPU/wire cost ratio; zero selects
+	// λ = 1, the value of every figure in the DSN paper.
+	Lambda float64
+	// QoS parameterises the failure detectors (§6.2).
+	QoS fd.QoS
+	// Crashed lists pre-crashed processes (crash-steady): suspected from
+	// the start, outside the initial GM view, sending nothing.
+	Crashed []proto.PID
+	// Renumber enables the FD algorithm's coordinator renumbering
+	// optimisation (§7, crash-steady discussion). On by default through
+	// DisableRenumber.
+	DisableRenumber bool
+	// Seed makes the experiment reproducible. Zero means seed 1.
+	Seed uint64
+	// Warmup is discarded virtual time before measurement starts.
+	Warmup time.Duration
+	// Measure is the virtual time window whose messages are measured.
+	Measure time.Duration
+	// Drain bounds how long after the measure window the run waits for
+	// outstanding deliveries; messages still missing mark the point
+	// unstable.
+	Drain time.Duration
+	// Replications is the number of independent runs aggregated into the
+	// confidence interval. Zero selects 5.
+	Replications int
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultWarmup       = 2 * time.Second
+	DefaultMeasure      = 20 * time.Second
+	DefaultDrain        = 30 * time.Second
+	DefaultReplications = 5
+)
+
+func (c Config) withDefaults() Config {
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = DefaultWarmup
+	}
+	if c.Measure == 0 {
+		c.Measure = DefaultMeasure
+	}
+	if c.Drain == 0 {
+		c.Drain = DefaultDrain
+	}
+	if c.Replications == 0 {
+		c.Replications = DefaultReplications
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Algorithm < FD || c.Algorithm > GMNonUniform:
+		return fmt.Errorf("experiment: unknown algorithm %d", int(c.Algorithm))
+	case c.N < 1:
+		return fmt.Errorf("experiment: N = %d", c.N)
+	case c.Throughput < 0:
+		return fmt.Errorf("experiment: negative throughput")
+	case len(c.Crashed) >= (c.N+1)/2:
+		return fmt.Errorf("experiment: %d crashes exceed the f < n/2 bound for n = %d", len(c.Crashed), c.N)
+	}
+	return nil
+}
+
+// Result aggregates an experiment's replications.
+type Result struct {
+	Config Config
+	// Latency is the distribution of replication means, in milliseconds:
+	// its Mean and CI95 are what the paper plots.
+	Latency stats.Summary
+	// PerMessage pools every measured message across replications.
+	PerMessage stats.Summary
+	// Messages is the total number of measured (delivered) messages.
+	Messages int
+	// Undelivered counts measured messages never delivered within the
+	// drain window, across replications.
+	Undelivered int
+	// Stable is false when messages were left undelivered — the regime
+	// where the paper omits the GM curve.
+	Stable bool
+	// Diverged is true when a replication was aborted because its
+	// undelivered backlog exceeded DivergenceBacklog: the offered load
+	// plus failure handling exceeded the system's capacity.
+	Diverged bool
+}
+
+// DivergenceBacklog is the undelivered-message backlog beyond which a
+// steady-state run is declared divergent and aborted. Transient backlogs
+// under legitimate load are orders of magnitude smaller.
+const DivergenceBacklog = 2000
+
+// cluster assembles one simulated system running one algorithm.
+type cluster struct {
+	eng   *sim.Engine
+	sys   *proto.System
+	bcast []func(body any) proto.MsgID
+	// onDeliver is invoked for every A-delivery at every process.
+	onDeliver func(p proto.PID, id proto.MsgID)
+}
+
+// newCluster builds engine + network + detectors + algorithm stack.
+func newCluster(cfg Config, seed uint64) *cluster {
+	eng := sim.New()
+	netCfg := netmodel.Config{
+		N:      cfg.N,
+		Lambda: sim.Millis(cfg.Lambda),
+		Slot:   time.Millisecond,
+	}
+	rng := sim.NewRand(seed)
+	sys := proto.NewSystem(eng, netCfg, cfg.QoS, rng)
+	c := &cluster{eng: eng, sys: sys, bcast: make([]func(any) proto.MsgID, cfg.N)}
+
+	crashed := make(map[proto.PID]bool, len(cfg.Crashed))
+	for _, p := range cfg.Crashed {
+		crashed[p] = true
+	}
+	var members []proto.PID
+	for p := 0; p < cfg.N; p++ {
+		if !crashed[proto.PID(p)] {
+			members = append(members, proto.PID(p))
+		}
+	}
+
+	for p := 0; p < cfg.N; p++ {
+		pid := proto.PID(p)
+		deliver := func(id proto.MsgID, body any) {
+			if c.onDeliver != nil {
+				c.onDeliver(pid, id)
+			}
+		}
+		switch cfg.Algorithm {
+		case FD:
+			proc := ctabcast.New(sys.Proc(pid), ctabcast.Config{
+				Deliver:  deliver,
+				Renumber: !cfg.DisableRenumber,
+			})
+			sys.SetHandler(pid, proc)
+			c.bcast[p] = proc.ABroadcast
+		case GM, GMNonUniform:
+			proc := seqabcast.New(sys.Proc(pid), seqabcast.Config{
+				Deliver:        deliver,
+				Uniform:        cfg.Algorithm == GM,
+				InitialMembers: members,
+			})
+			sys.SetHandler(pid, proc)
+			c.bcast[p] = proc.ABroadcast
+		}
+	}
+	for _, p := range cfg.Crashed {
+		sys.PreCrash(p)
+	}
+	sys.Start()
+	return c
+}
+
+// liveSenders returns the processes that generate load.
+func liveSenders(cfg Config) []int {
+	crashed := make(map[proto.PID]bool, len(cfg.Crashed))
+	for _, p := range cfg.Crashed {
+		crashed[p] = true
+	}
+	var out []int
+	for p := 0; p < cfg.N; p++ {
+		if !crashed[proto.PID(p)] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// repSeed derives the seed of one replication.
+func repSeed(base uint64, rep int) uint64 {
+	r := sim.NewRand(base)
+	return r.ForkN(rep).Uint64()
+}
+
+// RunSteady executes a steady-state experiment (normal-steady,
+// crash-steady or suspicion-steady, depending on Config.Crashed and
+// Config.QoS).
+func RunSteady(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	var repMeans stats.Sample
+	var pooled stats.Sample
+	messages, undelivered := 0, 0
+
+	diverged := false
+	for rep := 0; rep < cfg.Replications; rep++ {
+		c := newCluster(cfg, repSeed(cfg.Seed, rep))
+		start := sim.Time(0).Add(cfg.Warmup)
+		end := start.Add(cfg.Measure)
+
+		sent := make(map[proto.MsgID]sim.Time)
+		first := make(map[proto.MsgID]sim.Time)
+		// Backlog accounting for divergence detection: every broadcast
+		// versus first-deliveries observed at process 0 (always alive in
+		// steady scenarios: crash-steady crashes the highest PIDs).
+		broadcasts, deliveredAt0 := 0, 0
+		c.onDeliver = func(p proto.PID, id proto.MsgID) {
+			if p == 0 {
+				deliveredAt0++
+			}
+			if _, tracked := sent[id]; tracked {
+				if _, seen := first[id]; !seen {
+					first[id] = c.eng.Now()
+				}
+			}
+		}
+		workload.Spread(c.eng, sim.NewRand(repSeed(cfg.Seed, rep)).Fork("load"),
+			cfg.Throughput, cfg.N, liveSenders(cfg), func(s int) {
+				id := c.bcast[s](nil)
+				broadcasts++
+				now := c.eng.Now()
+				if now >= start && now < end {
+					sent[id] = now
+				}
+			})
+
+		// Run in slices so a diverging system (backlog beyond any
+		// legitimate transient) is cut short instead of simulated in
+		// quadratic agony.
+		repDiverged := false
+		for c.eng.Now() < end {
+			step := c.eng.Now().Add(500 * time.Millisecond)
+			if step > end {
+				step = end
+			}
+			c.eng.RunUntil(step)
+			if broadcasts-deliveredAt0 > DivergenceBacklog {
+				repDiverged = true
+				break
+			}
+		}
+		// Drain in slices so the run can stop early once every tracked
+		// message landed.
+		deadline := end.Add(cfg.Drain)
+		for !repDiverged && c.eng.Now() < deadline && len(first) < len(sent) {
+			step := c.eng.Now().Add(100 * time.Millisecond)
+			if step > deadline {
+				step = deadline
+			}
+			c.eng.RunUntil(step)
+			if broadcasts-deliveredAt0 > DivergenceBacklog {
+				repDiverged = true
+			}
+		}
+		if repDiverged {
+			diverged = true
+		}
+
+		// Accumulate in canonical ID order: floating-point summation is
+		// order-sensitive, and map iteration would make results differ
+		// across runs (and between the two algorithms) in the last bits.
+		ids := make([]proto.MsgID, 0, len(sent))
+		for id := range sent {
+			ids = append(ids, id)
+		}
+		proto.SortMsgIDs(ids)
+		var repSample stats.Sample
+		for _, id := range ids {
+			t1, ok := first[id]
+			if !ok {
+				undelivered++
+				continue
+			}
+			l := t1.Sub(sent[id]).Seconds() * 1000 // milliseconds
+			repSample.Add(l)
+			pooled.Add(l)
+		}
+		messages += repSample.N()
+		if repSample.N() > 0 {
+			repMeans.Add(repSample.Mean())
+		}
+	}
+
+	return Result{
+		Config:      cfg,
+		Latency:     repMeans.Summarize(),
+		PerMessage:  pooled.Summarize(),
+		Messages:    messages,
+		Undelivered: undelivered,
+		Stable:      undelivered == 0 && messages > 0 && !diverged,
+		Diverged:    diverged,
+	}
+}
+
+// TransientConfig extends Config for the crash-transient scenario.
+type TransientConfig struct {
+	Config
+	// Crash is the process forced to crash (the paper presents the worst
+	// case: the coordinator/sequencer, process 0).
+	Crash proto.PID
+	// Sender is the process whose probe message is measured. It must
+	// differ from Crash.
+	Sender proto.PID
+}
+
+// TransientResult reports the crash-transient latency L(p, q).
+type TransientResult struct {
+	Config TransientConfig
+	// Latency is the probe latency distribution over replications (ms).
+	Latency stats.Summary
+	// Overhead is Latency minus the detection time TD, the quantity
+	// Fig. 8 plots.
+	Overhead stats.Summary
+	// Lost counts replications whose probe was never delivered.
+	Lost int
+}
+
+// RunTransient measures L(p, q): the latency of a message A-broadcast by
+// Sender at the exact instant Crash crashes, after the system reached a
+// steady state under background load.
+func RunTransient(cfg TransientConfig) TransientResult {
+	cfg.Config = cfg.Config.withDefaults()
+	if err := cfg.Config.validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Crash == cfg.Sender {
+		panic("experiment: crash-transient sender must differ from the crashed process")
+	}
+	var lat, overhead stats.Sample
+	lost := 0
+	tdMs := float64(cfg.QoS.TD) / float64(time.Millisecond)
+
+	for rep := 0; rep < cfg.Replications; rep++ {
+		c := newCluster(cfg.Config, repSeed(cfg.Seed, rep))
+		crashAt := sim.Time(0).Add(cfg.Warmup)
+
+		var probe proto.MsgID
+		var probeSent, probeDelivered sim.Time
+		delivered := false
+		c.onDeliver = func(p proto.PID, id proto.MsgID) {
+			if !delivered && id == probe && probeSent > 0 {
+				delivered = true
+				probeDelivered = c.eng.Now()
+			}
+		}
+		workload.Spread(c.eng, sim.NewRand(repSeed(cfg.Seed, rep)).Fork("load"),
+			cfg.Throughput, cfg.N, liveSenders(cfg.Config), func(s int) {
+				c.bcast[s](nil)
+			})
+		c.eng.Schedule(crashAt, func() {
+			c.sys.Crash(cfg.Crash)
+			probe = c.bcast[cfg.Sender]("probe")
+			probeSent = c.eng.Now()
+		})
+
+		deadline := crashAt.Add(cfg.Drain)
+		for c.eng.Now() < deadline && !delivered {
+			step := c.eng.Now().Add(50 * time.Millisecond)
+			if step > deadline {
+				step = deadline
+			}
+			c.eng.RunUntil(step)
+		}
+		if !delivered {
+			lost++
+			continue
+		}
+		l := probeDelivered.Sub(probeSent).Seconds() * 1000
+		lat.Add(l)
+		overhead.Add(l - tdMs)
+	}
+
+	return TransientResult{
+		Config:   cfg,
+		Latency:  lat.Summarize(),
+		Overhead: overhead.Summarize(),
+		Lost:     lost,
+	}
+}
+
+// WorstCaseTransient evaluates L(p, q) over every sender q for the given
+// crashed process and returns the maximum mean — the paper's
+// Lcrash = max L(p, q) restricted to the presented worst case p (the
+// coordinator/sequencer). Set sweepCrash to also maximise over p.
+func WorstCaseTransient(cfg TransientConfig, sweepCrash bool) TransientResult {
+	crashes := []proto.PID{cfg.Crash}
+	if sweepCrash {
+		crashes = crashes[:0]
+		for p := 0; p < cfg.N; p++ {
+			crashes = append(crashes, proto.PID(p))
+		}
+	}
+	var worst TransientResult
+	have := false
+	for _, crash := range crashes {
+		for q := 0; q < cfg.N; q++ {
+			if proto.PID(q) == crash {
+				continue
+			}
+			point := cfg
+			point.Crash = crash
+			point.Sender = proto.PID(q)
+			res := RunTransient(point)
+			if res.Latency.N == 0 {
+				continue
+			}
+			if !have || res.Latency.Mean > worst.Latency.Mean {
+				worst = res
+				have = true
+			}
+		}
+	}
+	return worst
+}

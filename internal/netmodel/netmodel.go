@@ -1,0 +1,291 @@
+// Package netmodel implements the contention-aware message transmission
+// model of the paper's Section 6.1 (after Urbán, Défago, Schiper, "Contention-
+// aware metrics for distributed algorithms", IC3N 2000).
+//
+// Two kinds of resources exist, each serving messages in FIFO order:
+//
+//   - one CPU resource per process, representing the network controller and
+//     networking stack; every message occupies the sender's CPU for λ time
+//     units when sent and the receiver's CPU for λ time units when received;
+//   - a single network resource shared by all processes, representing an
+//     Ethernet-like transmission medium; every message occupies it for
+//     exactly one time unit (1 ms in all experiments, as in the paper).
+//
+// A message from pᵢ to pⱼ therefore uses CPUᵢ (λ), then the wire (1), then
+// CPUⱼ (λ), queueing before each stage if the resource is busy. A multicast
+// occupies the sender CPU and the wire once and then occupies every
+// destination CPU in parallel — the Ethernet broadcast assumption the
+// paper's message counts ("1 multicast and about 2n unicasts") rely on.
+// Delivery to the sender itself is local and free.
+//
+// Crashes follow the paper's software-crash semantics: when pᵢ crashes at
+// time t, no message passes between pᵢ and CPUᵢ after t — the process
+// neither sends nor receives — but messages already handed to CPUᵢ and its
+// queues are still transmitted.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config parameterises the transmission model.
+type Config struct {
+	// N is the number of processes. It must be at least 1.
+	N int
+	// Lambda is the CPU occupancy per message send and per message
+	// receive (the λ parameter of the paper). λ = 1 ms reproduces every
+	// figure of the DSN paper; other values model other environments.
+	Lambda time.Duration
+	// Slot is the wire occupancy per message: the paper's time unit,
+	// 1 ms in all experiments.
+	Slot time.Duration
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: λ = 1 time unit, 1 time unit = 1 ms.
+func DefaultConfig(n int) Config {
+	return Config{N: n, Lambda: time.Millisecond, Slot: time.Millisecond}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("netmodel: N = %d, need at least 1", c.N)
+	case c.Lambda < 0:
+		return fmt.Errorf("netmodel: negative Lambda %v", c.Lambda)
+	case c.Slot < 0:
+		return fmt.Errorf("netmodel: negative Slot %v", c.Slot)
+	}
+	return nil
+}
+
+// DeliverFunc receives a message that completed all three stages. It runs
+// at the virtual instant the destination process takes the message off its
+// CPU.
+type DeliverFunc func(to, from int, payload any)
+
+// TraceKind labels points in a message's lifecycle for observers.
+type TraceKind int
+
+// Trace points, in lifecycle order.
+const (
+	TraceSend    TraceKind = iota + 1 // process hands message to its CPU
+	TraceWire                         // message occupies the network
+	TraceDeliver                      // destination process receives it
+	TraceDrop                         // destination crashed; message discarded
+)
+
+// String returns the lowercase name of the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceWire:
+		return "wire"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent describes one lifecycle point of one message copy.
+type TraceEvent struct {
+	Kind    TraceKind
+	At      sim.Time
+	From    int
+	To      int // -1 for wire events of multicasts
+	Payload any
+}
+
+// Counters aggregates network activity, used by load diagnostics and by
+// the FD-vs-GM message-pattern equivalence tests.
+type Counters struct {
+	Unicasts   uint64 // point-to-point sends handed to a CPU
+	Multicasts uint64 // multicast sends handed to a CPU
+	WireSlots  uint64 // messages that occupied the network resource
+	Deliveries uint64 // completed deliveries (per destination)
+	Drops      uint64 // deliveries discarded because the target crashed
+	LocalSends uint64 // self-deliveries (no resource usage)
+}
+
+// Network simulates the transmission model on top of a sim.Engine.
+type Network struct {
+	eng     *sim.Engine
+	cfg     Config
+	deliver DeliverFunc
+	trace   func(TraceEvent)
+
+	cpuBusy  []sim.Time // per-process CPU busy-until
+	wireBusy sim.Time   // shared network busy-until
+	crashed  []bool
+
+	counters Counters
+}
+
+// New creates a network. deliver must not be nil; it is invoked for every
+// completed message. New panics on an invalid configuration — the
+// configuration is code, not input.
+func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *Network {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if deliver == nil {
+		panic("netmodel: nil deliver callback")
+	}
+	return &Network{
+		eng:     eng,
+		cfg:     cfg,
+		deliver: deliver,
+		cpuBusy: make([]sim.Time, cfg.N),
+		crashed: make([]bool, cfg.N),
+	}
+}
+
+// SetTrace installs an observer invoked at each message lifecycle point.
+// Pass nil to remove it. Tracing is meant for tests, examples and the
+// trace tool; it has no effect on timing.
+func (nw *Network) SetTrace(fn func(TraceEvent)) { nw.trace = fn }
+
+// Counters returns a snapshot of the activity counters.
+func (nw *Network) Counters() Counters { return nw.counters }
+
+// N returns the number of processes.
+func (nw *Network) N() int { return nw.cfg.N }
+
+// Config returns the model parameters.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Crashed reports whether process p has crashed.
+func (nw *Network) Crashed(p int) bool { return nw.crashed[p] }
+
+// Crash marks p as crashed as of the current instant. Messages already on
+// p's CPU still go out; nothing is delivered to p from now on. Crashing a
+// crashed process is a no-op.
+func (nw *Network) Crash(p int) { nw.crashed[p] = true }
+
+func (nw *Network) emit(kind TraceKind, at sim.Time, from, to int, payload any) {
+	if nw.trace != nil {
+		nw.trace(TraceEvent{Kind: kind, At: at, From: from, To: to, Payload: payload})
+	}
+}
+
+// Send transmits payload from process `from` to process `to` through the
+// full CPU→wire→CPU pipeline. Sending to self delivers locally at the
+// current instant with no resource usage. Sends from a crashed process are
+// ignored.
+func (nw *Network) Send(from, to int, payload any) {
+	if nw.crashed[from] {
+		return
+	}
+	if from == to {
+		nw.localDeliver(from, payload)
+		return
+	}
+	nw.counters.Unicasts++
+	nw.emit(TraceSend, nw.eng.Now(), from, to, payload)
+	nw.throughCPU(from, func() { nw.throughWire(from, []int{to}, payload) })
+}
+
+// Multicast transmits payload from process `from` to every process,
+// including `from` itself. The sender CPU and the wire are occupied once;
+// every remote destination CPU is occupied in parallel. The local copy is
+// delivered immediately at no cost. Multicasts from a crashed process are
+// ignored.
+func (nw *Network) Multicast(from int, payload any) {
+	if nw.crashed[from] {
+		return
+	}
+	nw.counters.Multicasts++
+	nw.emit(TraceSend, nw.eng.Now(), from, -1, payload)
+	nw.localDeliver(from, payload)
+	if nw.cfg.N == 1 {
+		return
+	}
+	dsts := make([]int, 0, nw.cfg.N-1)
+	for p := 0; p < nw.cfg.N; p++ {
+		if p != from {
+			dsts = append(dsts, p)
+		}
+	}
+	nw.throughCPU(from, func() { nw.throughWire(from, dsts, payload) })
+}
+
+// localDeliver schedules a zero-cost self-delivery at the current instant.
+// It still goes through the event queue so that the delivery handler never
+// reenters the caller.
+func (nw *Network) localDeliver(p int, payload any) {
+	nw.counters.LocalSends++
+	nw.eng.After(0, func() {
+		if nw.crashed[p] {
+			nw.counters.Drops++
+			nw.emit(TraceDrop, nw.eng.Now(), p, p, payload)
+			return
+		}
+		nw.counters.Deliveries++
+		nw.emit(TraceDeliver, nw.eng.Now(), p, p, payload)
+		nw.deliver(p, p, payload)
+	})
+}
+
+// throughCPU occupies p's CPU for λ and then runs next. The CPU is FIFO:
+// occupancy accumulates on a busy-until horizon.
+func (nw *Network) throughCPU(p int, next func()) {
+	start := nw.eng.Now()
+	if nw.cpuBusy[p] > start {
+		start = nw.cpuBusy[p]
+	}
+	done := start.Add(nw.cfg.Lambda)
+	nw.cpuBusy[p] = done
+	nw.eng.Schedule(done, next)
+}
+
+// throughWire occupies the shared network resource for one slot, then fans
+// the message out to every destination CPU. The wire is reserved at the
+// moment the message leaves the sender CPU, which preserves the FIFO
+// arrival order at the medium.
+func (nw *Network) throughWire(from int, dsts []int, payload any) {
+	start := nw.eng.Now()
+	if nw.wireBusy > start {
+		start = nw.wireBusy
+	}
+	done := start.Add(nw.cfg.Slot)
+	nw.wireBusy = done
+	nw.counters.WireSlots++
+	to := -1
+	if len(dsts) == 1 {
+		to = dsts[0]
+	}
+	nw.emit(TraceWire, start, from, to, payload)
+	nw.eng.Schedule(done, func() {
+		for _, dst := range dsts {
+			nw.intoCPU(dst, from, payload)
+		}
+	})
+}
+
+// intoCPU occupies the destination CPU for λ and hands the message to the
+// process, unless it crashed in the meantime.
+func (nw *Network) intoCPU(dst, from int, payload any) {
+	start := nw.eng.Now()
+	if nw.cpuBusy[dst] > start {
+		start = nw.cpuBusy[dst]
+	}
+	done := start.Add(nw.cfg.Lambda)
+	nw.cpuBusy[dst] = done
+	nw.eng.Schedule(done, func() {
+		if nw.crashed[dst] {
+			nw.counters.Drops++
+			nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
+			return
+		}
+		nw.counters.Deliveries++
+		nw.emit(TraceDeliver, nw.eng.Now(), from, dst, payload)
+		nw.deliver(dst, from, payload)
+	})
+}

@@ -1,0 +1,149 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestPhysicalLatencyFloorProperty: no delivery can beat the pipeline
+// minimum 2λ + slot, whatever the send schedule.
+func TestPhysicalLatencyFloorProperty(t *testing.T) {
+	type send struct {
+		At   uint16 // ms
+		From uint8
+		To   uint8
+	}
+	f := func(sends []send) bool {
+		const n = 4
+		eng := sim.New()
+		floor := 3 * time.Millisecond // λ + slot + λ with λ = slot = 1ms
+		sentAt := make(map[int][]sim.Time)
+		ok := true
+		var nw *Network
+		nw = New(eng, DefaultConfig(n), func(to, from int, payload any) {
+			key := payload.(int)
+			t0 := sentAt[key][0]
+			sentAt[key] = sentAt[key][1:]
+			if from != to && eng.Now().Sub(t0) < floor {
+				ok = false
+			}
+		})
+		for i, s := range sends {
+			i, s := i, s
+			from, to := int(s.From%n), int(s.To%n)
+			at := sim.Time(0).Add(time.Duration(s.At) * time.Millisecond)
+			eng.Schedule(at, func() {
+				sentAt[i] = append(sentAt[i], eng.Now())
+				nw.Send(from, to, i)
+			})
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerPathFIFOProperty: two messages from the same sender to the same
+// receiver are delivered in send order — the quasi-reliable channel
+// assumption of §3.1.
+func TestPerPathFIFOProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		eng := sim.New()
+		var got []int
+		nw := New(eng, DefaultConfig(2), func(to, from int, payload any) {
+			got = append(got, payload.(int))
+		})
+		at := sim.Time(0)
+		for i, g := range gaps {
+			i := i
+			at = at.Add(time.Duration(g%5) * 500 * time.Microsecond)
+			eng.Schedule(at, func() { nw.Send(0, 1, i) })
+		}
+		eng.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(gaps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireConservationProperty: the number of wire occupations equals
+// unicasts plus multicasts (each occupies the medium exactly once),
+// regardless of schedule and crashes.
+func TestWireConservationProperty(t *testing.T) {
+	type action struct {
+		At        uint16
+		Actor     uint8
+		Multicast bool
+		Crash     bool
+	}
+	f := func(actions []action) bool {
+		const n = 3
+		eng := sim.New()
+		nw := New(eng, DefaultConfig(n), func(int, int, any) {})
+		for i, a := range actions {
+			i, a := i, a
+			actor := int(a.Actor % n)
+			at := sim.Time(0).Add(time.Duration(a.At%200) * time.Millisecond)
+			eng.Schedule(at, func() {
+				switch {
+				case a.Crash:
+					nw.Crash(actor)
+				case a.Multicast:
+					nw.Multicast(actor, i)
+				default:
+					nw.Send(actor, (actor+1)%n, i)
+				}
+			})
+		}
+		eng.Run()
+		c := nw.Counters()
+		return c.WireSlots == c.Unicasts+c.Multicasts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliveryConservationProperty: without crashes, every unicast
+// delivers exactly once and every multicast delivers n times.
+func TestDeliveryConservationProperty(t *testing.T) {
+	f := func(kinds []bool) bool {
+		const n = 4
+		eng := sim.New()
+		var deliveries uint64
+		nw := New(eng, DefaultConfig(n), func(int, int, any) { deliveries++ })
+		want := uint64(0)
+		for i, multicast := range kinds {
+			i := i
+			m := multicast
+			eng.Schedule(sim.Time(0).Add(time.Duration(i)*100*time.Microsecond), func() {
+				if m {
+					nw.Multicast(i%n, i)
+				} else {
+					nw.Send(i%n, (i+1)%n, i)
+				}
+			})
+			if multicast {
+				want += n
+			} else {
+				want++
+			}
+		}
+		eng.Run()
+		return deliveries == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package proto
+
+// IDTracker is a duplicate-suppression set for MsgIDs with O(1) steady-state
+// memory: per-origin sequence numbers are absorbed into a contiguous
+// watermark as they complete, and only out-of-order IDs occupy the sparse
+// overflow set. Message sequence numbers start at 1.
+//
+// The zero value is not usable; create trackers with NewIDTracker.
+type IDTracker struct {
+	water  map[PID]uint64
+	sparse map[MsgID]struct{}
+}
+
+// NewIDTracker returns an empty tracker.
+func NewIDTracker() *IDTracker {
+	return &IDTracker{
+		water:  make(map[PID]uint64),
+		sparse: make(map[MsgID]struct{}),
+	}
+}
+
+// Seen reports whether id was added before.
+func (t *IDTracker) Seen(id MsgID) bool {
+	if id.Seq <= t.water[id.Origin] {
+		return true
+	}
+	_, ok := t.sparse[id.Origin.pair(id.Seq)]
+	return ok
+}
+
+// Add inserts id and reports whether it was newly added (false on
+// duplicates).
+func (t *IDTracker) Add(id MsgID) bool {
+	if t.Seen(id) {
+		return false
+	}
+	w := t.water[id.Origin]
+	if id.Seq == w+1 {
+		w++
+		// Absorb any sparse successors into the watermark.
+		for {
+			next := id.Origin.pair(w + 1)
+			if _, ok := t.sparse[next]; !ok {
+				break
+			}
+			delete(t.sparse, next)
+			w++
+		}
+		t.water[id.Origin] = w
+		return true
+	}
+	t.sparse[id.Origin.pair(id.Seq)] = struct{}{}
+	return true
+}
+
+// SparseLen returns the number of out-of-order IDs currently held, for
+// memory diagnostics in tests.
+func (t *IDTracker) SparseLen() int { return len(t.sparse) }
+
+// pair builds a MsgID; a tiny helper keeping call sites terse.
+func (p PID) pair(seq uint64) MsgID { return MsgID{Origin: p, Seq: seq} }

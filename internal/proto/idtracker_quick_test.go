@@ -1,0 +1,101 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestIDTrackerMatchesReferenceSet checks the watermark+sparse tracker
+// against a plain map under random add/query sequences.
+func TestIDTrackerMatchesReferenceSet(t *testing.T) {
+	type op struct {
+		Origin uint8
+		Seq    uint16
+		Query  bool
+	}
+	f := func(ops []op) bool {
+		tracker := NewIDTracker()
+		ref := make(map[MsgID]bool)
+		for _, o := range ops {
+			id := MsgID{Origin: PID(o.Origin % 4), Seq: uint64(o.Seq%64) + 1}
+			if o.Query {
+				if tracker.Seen(id) != ref[id] {
+					return false
+				}
+				continue
+			}
+			added := tracker.Add(id)
+			if added == ref[id] { // Add returns true iff new
+				return false
+			}
+			ref[id] = true
+		}
+		for id := range ref {
+			if !tracker.Seen(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIDTrackerSparseBoundedUnderRandomOrder: whatever the insertion
+// order, once a contiguous prefix is complete the sparse set holds only
+// the out-of-order tail.
+func TestIDTrackerSparseBoundedUnderRandomOrder(t *testing.T) {
+	f := func(perm []uint8) bool {
+		tracker := NewIDTracker()
+		seen := make(map[uint64]bool)
+		var seqs []uint64
+		for _, p := range perm {
+			s := uint64(p%32) + 1
+			if !seen[s] {
+				seen[s] = true
+				seqs = append(seqs, s)
+			}
+		}
+		for _, s := range seqs {
+			tracker.Add(MsgID{Origin: 1, Seq: s})
+		}
+		// If 1..k were all inserted, the sparse set holds at most the
+		// non-contiguous remainder.
+		k := uint64(0)
+		for seen[k+1] {
+			k++
+		}
+		return tracker.SparseLen() <= len(seqs)-int(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortMsgIDsMatchesTotalOrder: SortMsgIDs agrees with the Less
+// relation on random inputs, and Less is a strict total order.
+func TestSortMsgIDsMatchesTotalOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ids := make([]MsgID, len(raw))
+		for i, r := range raw {
+			ids[i] = MsgID{Origin: PID(r % 5), Seq: uint64(r / 5)}
+		}
+		SortMsgIDs(ids)
+		for i := 1; i < len(ids); i++ {
+			if ids[i].Less(ids[i-1]) {
+				return false
+			}
+		}
+		// Strictness: a.Less(b) and b.Less(a) never both hold.
+		for i := 1; i < len(ids); i++ {
+			if ids[i].Less(ids[i-1]) && ids[i-1].Less(ids[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package rbcast implements reliable broadcast the way the paper's FD
+// atomic broadcast uses it (§4.1, footnote 3): an efficient algorithm,
+// inspired by Frolund and Pedone's "Revisiting reliable broadcast", that
+// costs a single multicast in the common case. Fault tolerance comes from
+// lazy relaying: when a process suspects the origin of a message that is
+// not yet known to be stable, it re-multicasts that message, so every
+// correct process eventually delivers it even if the origin crashed midway
+// through its broadcast.
+//
+// Properties (with a quasi-reliable network and ♦S-complete detectors):
+// validity (a correct broadcaster's message is delivered), agreement (if a
+// correct process delivers m, all correct processes do) and integrity
+// (every message delivered at most once, and only if broadcast).
+package rbcast
+
+import (
+	"repro/internal/proto"
+)
+
+// Msg is the wire format of one reliable broadcast. Relays carry the
+// original ID and origin, so duplicates collapse at the receiver.
+type Msg struct {
+	ID   proto.MsgID
+	Body any
+}
+
+// Config wires a Broadcaster to its process.
+type Config struct {
+	// Self is the local process ID; it becomes the origin of broadcasts.
+	Self proto.PID
+	// Multicast transmits a Msg to all processes including the sender.
+	Multicast func(m Msg)
+	// Deliver is the upcall on first receipt of each message.
+	Deliver func(id proto.MsgID, body any)
+}
+
+// Broadcaster is the per-process reliable broadcast endpoint.
+type Broadcaster struct {
+	cfg       Config
+	seq       uint64
+	delivered *proto.IDTracker
+	// unstable holds delivered-but-not-stable messages by origin: the
+	// relay set. MarkStable prunes it, bounding relay traffic and memory.
+	unstable map[proto.PID]map[proto.MsgID]Msg
+	// relayed marks messages this process already re-multicast: one relay
+	// per message suffices for agreement, and without the cap a low-TMR
+	// suspicion storm would re-relay the same pending messages every few
+	// milliseconds.
+	relayed *proto.IDTracker
+}
+
+// New creates a Broadcaster. Both callbacks are required.
+func New(cfg Config) *Broadcaster {
+	if cfg.Multicast == nil {
+		panic("rbcast: nil Multicast")
+	}
+	if cfg.Deliver == nil {
+		panic("rbcast: nil Deliver")
+	}
+	return &Broadcaster{
+		cfg:       cfg,
+		delivered: proto.NewIDTracker(),
+		unstable:  make(map[proto.PID]map[proto.MsgID]Msg),
+		relayed:   proto.NewIDTracker(),
+	}
+}
+
+// Broadcast reliably broadcasts body and returns the assigned message ID.
+// The local copy is delivered through the multicast's self-delivery.
+func (b *Broadcaster) Broadcast(body any) proto.MsgID {
+	b.seq++
+	id := proto.MsgID{Origin: b.cfg.Self, Seq: b.seq}
+	b.cfg.Multicast(Msg{ID: id, Body: body})
+	return id
+}
+
+// OnMessage processes an incoming broadcast or relay copy. Duplicates are
+// absorbed silently.
+func (b *Broadcaster) OnMessage(m Msg) {
+	if !b.delivered.Add(m.ID) {
+		return
+	}
+	set, ok := b.unstable[m.ID.Origin]
+	if !ok {
+		set = make(map[proto.MsgID]Msg)
+		b.unstable[m.ID.Origin] = set
+	}
+	set[m.ID] = m
+	b.cfg.Deliver(m.ID, m.Body)
+}
+
+// OnSuspect relays every unstable message originated by p that this
+// process has not relayed before: the lazy fault-tolerance step. In the
+// common (suspicion-free) case it never runs, preserving the
+// one-multicast cost; under suspicion storms each message costs this
+// process at most one extra multicast.
+func (b *Broadcaster) OnSuspect(p proto.PID) {
+	for id, m := range b.unstable[p] {
+		if b.relayed.Add(id) {
+			b.cfg.Multicast(m)
+		}
+	}
+}
+
+// MarkStable records that id is known to be delivered everywhere it needs
+// to be (for the FD algorithm: it was A-delivered, so the consensus
+// decision guarantees system-wide receipt). Stable messages are no longer
+// relayed and their memory is released.
+func (b *Broadcaster) MarkStable(id proto.MsgID) {
+	set := b.unstable[id.Origin]
+	delete(set, id)
+	if len(set) == 0 {
+		delete(b.unstable, id.Origin)
+	}
+}
+
+// UnstableCount returns the current relay-set size, for tests and
+// diagnostics.
+func (b *Broadcaster) UnstableCount() int {
+	n := 0
+	for _, set := range b.unstable {
+		n += len(set)
+	}
+	return n
+}

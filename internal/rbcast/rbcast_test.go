@@ -1,0 +1,276 @@
+package rbcast
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// fabric is an in-memory test network of broadcasters with controllable
+// delivery and crash-loss semantics.
+type fabric struct {
+	n         int
+	bcs       []*Broadcaster
+	queue     []copyTo
+	crashed   []bool
+	delivered [][]proto.MsgID // per process, in delivery order
+}
+
+type copyTo struct {
+	to int
+	m  Msg
+}
+
+func newFabric(n int) *fabric {
+	f := &fabric{
+		n:         n,
+		crashed:   make([]bool, n),
+		delivered: make([][]proto.MsgID, n),
+	}
+	f.bcs = make([]*Broadcaster, n)
+	for p := 0; p < n; p++ {
+		p := p
+		f.bcs[p] = New(Config{
+			Self: proto.PID(p),
+			Multicast: func(m Msg) {
+				if f.crashed[p] {
+					return
+				}
+				for q := 0; q < n; q++ {
+					f.queue = append(f.queue, copyTo{to: q, m: m})
+				}
+			},
+			Deliver: func(id proto.MsgID, body any) {
+				f.delivered[p] = append(f.delivered[p], id)
+			},
+		})
+	}
+	return f
+}
+
+func (f *fabric) run() {
+	for len(f.queue) > 0 {
+		c := f.queue[0]
+		f.queue = f.queue[1:]
+		if f.crashed[c.to] {
+			continue
+		}
+		f.bcs[c.to].OnMessage(c.m)
+	}
+}
+
+// crash drops p and all its undelivered copies (harsher than the network
+// model: quasi-reliable networks may lose messages of crashed senders).
+func (f *fabric) crash(p int) {
+	f.crashed[p] = true
+	kept := f.queue[:0]
+	for _, c := range f.queue {
+		if c.m.ID.Origin != proto.PID(p) || f.deliveredBySomeone(c.m.ID) {
+			kept = append(kept, c)
+		}
+	}
+	f.queue = kept
+}
+
+// crashLosingCopiesTo drops p and loses exactly the copies addressed to
+// the given victims, modelling a crash midway through a multicast.
+func (f *fabric) crashLosingCopiesTo(p int, victims ...int) {
+	f.crashed[p] = true
+	isVictim := make(map[int]bool)
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+	kept := f.queue[:0]
+	for _, c := range f.queue {
+		if c.m.ID.Origin == proto.PID(p) && isVictim[c.to] {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	f.queue = kept
+}
+
+func (f *fabric) deliveredBySomeone(id proto.MsgID) bool {
+	for p := 0; p < f.n; p++ {
+		for _, got := range f.delivered[p] {
+			if got == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestBroadcastDeliversEverywhereOnce(t *testing.T) {
+	f := newFabric(3)
+	id := f.bcs[0].Broadcast("hello")
+	f.run()
+	for p := 0; p < 3; p++ {
+		if len(f.delivered[p]) != 1 || f.delivered[p][0] != id {
+			t.Fatalf("p%d delivered %v, want [%v]", p, f.delivered[p], id)
+		}
+	}
+}
+
+func TestSequentialIDs(t *testing.T) {
+	f := newFabric(2)
+	a := f.bcs[0].Broadcast("a")
+	b := f.bcs[0].Broadcast("b")
+	if a.Seq != 1 || b.Seq != 2 || a.Origin != 0 {
+		t.Fatalf("ids = %v %v, want 0:1 0:2", a, b)
+	}
+}
+
+func TestDuplicateCopiesAbsorbed(t *testing.T) {
+	f := newFabric(2)
+	id := f.bcs[0].Broadcast("x")
+	f.run()
+	f.bcs[1].OnMessage(Msg{ID: id, Body: "x"}) // stray duplicate
+	if len(f.delivered[1]) != 1 {
+		t.Fatalf("duplicate delivered: %v", f.delivered[1])
+	}
+}
+
+func TestRelayOnSuspicionCoversCrashMidBroadcast(t *testing.T) {
+	// p0 broadcasts; the copy to p2 is lost in the crash. p1's suspicion
+	// of p0 triggers a relay, and p2 delivers.
+	f := newFabric(3)
+	f.bcs[0].Broadcast("m")
+	f.crashLosingCopiesTo(0, 2)
+	f.run()
+	if len(f.delivered[1]) != 1 {
+		t.Fatal("p1 missing the original copy")
+	}
+	if len(f.delivered[2]) != 0 {
+		t.Fatal("p2 should have lost its copy")
+	}
+	f.bcs[1].OnSuspect(0)
+	f.run()
+	if len(f.delivered[2]) != 1 {
+		t.Fatal("relay did not reach p2")
+	}
+	// Agreement: everyone delivered exactly once.
+	for p := 1; p < 3; p++ {
+		if len(f.delivered[p]) != 1 {
+			t.Fatalf("p%d delivered %d times", p, len(f.delivered[p]))
+		}
+	}
+}
+
+func TestNoRelayAfterMarkStable(t *testing.T) {
+	f := newFabric(3)
+	id := f.bcs[0].Broadcast("m")
+	f.run()
+	f.bcs[1].MarkStable(id)
+	before := len(f.queue)
+	f.bcs[1].OnSuspect(0)
+	if len(f.queue) != before {
+		t.Fatal("stable message was relayed")
+	}
+	if f.bcs[1].UnstableCount() != 0 {
+		t.Fatalf("UnstableCount = %d, want 0", f.bcs[1].UnstableCount())
+	}
+}
+
+func TestRelayOnlyCoversSuspectedOrigin(t *testing.T) {
+	f := newFabric(3)
+	f.bcs[0].Broadcast("from0")
+	f.bcs[1].Broadcast("from1")
+	f.run()
+	before := len(f.queue)
+	f.bcs[2].OnSuspect(0)
+	// Exactly one relay multicast (3 copies in this fabric).
+	if got := len(f.queue) - before; got != 3 {
+		t.Fatalf("relay produced %d copies, want 3 (one multicast)", got)
+	}
+	for _, c := range f.queue[before:] {
+		if c.m.ID.Origin != 0 {
+			t.Fatalf("relayed message from origin %d, want 0", c.m.ID.Origin)
+		}
+	}
+}
+
+func TestSuspicionFreeCostIsOneMulticast(t *testing.T) {
+	// The defining property of the efficient algorithm: in suspicion-free
+	// runs a broadcast costs exactly one multicast.
+	sends := 0
+	var deliverSelf func(m Msg)
+	b := New(Config{
+		Self:      0,
+		Multicast: func(m Msg) { sends++; deliverSelf(m) },
+		Deliver:   func(proto.MsgID, any) {},
+	})
+	deliverSelf = func(m Msg) { b.OnMessage(m) }
+	b.Broadcast("a")
+	b.Broadcast("b")
+	if sends != 2 {
+		t.Fatalf("sends = %d, want 2 (one multicast per broadcast)", sends)
+	}
+}
+
+func TestMarkStableUnknownIDHarmless(t *testing.T) {
+	f := newFabric(2)
+	f.bcs[0].MarkStable(proto.MsgID{Origin: 1, Seq: 99})
+}
+
+func TestNilCallbacksPanic(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"nil multicast": {Deliver: func(proto.MsgID, any) {}},
+		"nil deliver":   {Multicast: func(Msg) {}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestIDTrackerWatermarkAbsorption(t *testing.T) {
+	tr := proto.NewIDTracker()
+	// Out of order: 2, 3 first (sparse), then 1 absorbs all.
+	if !tr.Add(proto.MsgID{Origin: 0, Seq: 2}) || !tr.Add(proto.MsgID{Origin: 0, Seq: 3}) {
+		t.Fatal("fresh adds reported as duplicates")
+	}
+	if tr.SparseLen() != 2 {
+		t.Fatalf("sparse = %d, want 2", tr.SparseLen())
+	}
+	if !tr.Add(proto.MsgID{Origin: 0, Seq: 1}) {
+		t.Fatal("seq 1 reported duplicate")
+	}
+	if tr.SparseLen() != 0 {
+		t.Fatalf("sparse = %d after absorption, want 0", tr.SparseLen())
+	}
+	for s := uint64(1); s <= 3; s++ {
+		if !tr.Seen(proto.MsgID{Origin: 0, Seq: s}) {
+			t.Fatalf("seq %d not seen", s)
+		}
+	}
+	if tr.Seen(proto.MsgID{Origin: 0, Seq: 4}) {
+		t.Fatal("unseen id reported seen")
+	}
+	if tr.Add(proto.MsgID{Origin: 0, Seq: 2}) {
+		t.Fatal("duplicate add returned true")
+	}
+}
+
+func TestIDTrackerPerOriginIndependence(t *testing.T) {
+	tr := proto.NewIDTracker()
+	tr.Add(proto.MsgID{Origin: 0, Seq: 1})
+	if tr.Seen(proto.MsgID{Origin: 1, Seq: 1}) {
+		t.Fatal("origins share watermarks")
+	}
+}
+
+func TestIDTrackerSteadyStateMemory(t *testing.T) {
+	tr := proto.NewIDTracker()
+	for s := uint64(1); s <= 10000; s++ {
+		tr.Add(proto.MsgID{Origin: 3, Seq: s})
+	}
+	if tr.SparseLen() != 0 {
+		t.Fatalf("in-order adds left %d sparse entries", tr.SparseLen())
+	}
+}

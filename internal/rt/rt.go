@@ -1,0 +1,259 @@
+// Package rt executes the same protocol stacks as internal/proto in real
+// time, over goroutines and wall-clock timers — the prototyping half of
+// the Neko duality the paper's tooling was built on ("a single
+// environment to simulate and prototype distributed algorithms", [24]).
+//
+// Every process owns a goroutine draining an unbounded mailbox, so handler
+// code stays single-threaded exactly as in the simulation. Messages hop
+// between processes through an in-memory transport with configurable
+// one-way latency and jitter. Because this runtime implements
+// proto.Runtime, the consensus, atomic broadcast and membership modules —
+// and the heartbeat failure detector of internal/hbfd — run on it without
+// any change.
+//
+// Unlike the simulation, real-time executions are not deterministic;
+// tests against this package assert eventual properties with deadlines,
+// not exact timings.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Config parameterises the real-time system.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Latency is the one-way message delay (default 200µs).
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Seed feeds the per-process random streams (default 1).
+	Seed uint64
+}
+
+const defaultLatency = 200 * time.Microsecond
+
+// System is a set of processes running protocol handlers in real time.
+type System struct {
+	cfg     Config
+	procs   []*Proc
+	started atomic.Bool
+	epoch   time.Time
+}
+
+// NewSystem builds the system. Handlers are installed with SetHandler and
+// everything starts with Start.
+func NewSystem(cfg Config) *System {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("rt: N = %d", cfg.N))
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = defaultLatency
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := &System{cfg: cfg}
+	root := sim.NewRand(cfg.Seed)
+	s.procs = make([]*Proc, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p := &Proc{
+			sys: s,
+			id:  proto.PID(i),
+			rng: root.ForkN(i),
+		}
+		p.mbox.signal = make(chan struct{}, 1)
+		s.procs[i] = p
+	}
+	return s
+}
+
+// Proc returns the runtime of process p.
+func (s *System) Proc(p proto.PID) *Proc { return s.procs[p] }
+
+// SetHandler installs the root protocol of p; it must precede Start.
+func (s *System) SetHandler(p proto.PID, h proto.Handler) {
+	if s.started.Load() {
+		panic("rt: SetHandler after Start")
+	}
+	s.procs[p].handler = h
+}
+
+// Start launches one goroutine per process and runs every Init.
+func (s *System) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		panic("rt: Start called twice")
+	}
+	s.epoch = time.Now()
+	for _, p := range s.procs {
+		if p.handler == nil {
+			panic(fmt.Sprintf("rt: process %d has no handler", p.id))
+		}
+		go p.loop()
+	}
+	for _, p := range s.procs {
+		p := p
+		p.post(func() { p.handler.Init() })
+	}
+}
+
+// Crash stops process p: its mailbox drains no further events and its
+// sends are dropped. Safe to call from any goroutine.
+func (s *System) Crash(p proto.PID) { s.procs[p].crashed.Store(true) }
+
+// Crashed reports whether p crashed.
+func (s *System) Crashed(p proto.PID) bool { return s.procs[p].crashed.Load() }
+
+// Stop terminates all process goroutines. The system cannot be restarted.
+func (s *System) Stop() {
+	for _, p := range s.procs {
+		p.stopped.Store(true)
+		select {
+		case p.mbox.signal <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Proc is one real-time process. It implements proto.Runtime; all handler
+// invocations happen on the process goroutine.
+type Proc struct {
+	sys     *System
+	id      proto.PID
+	rng     *sim.Rand
+	handler proto.Handler
+	crashed atomic.Bool
+	stopped atomic.Bool
+	mbox    mailbox
+
+	// rngMu guards rng: Rand may be called from the process goroutine
+	// while jitter computation happens on sender goroutines.
+	rngMu sync.Mutex
+}
+
+var _ proto.Runtime = (*Proc)(nil)
+
+// mailbox is an unbounded MPSC queue with a wake-up channel.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []func()
+	signal chan struct{}
+}
+
+func (p *Proc) post(fn func()) {
+	p.mbox.mu.Lock()
+	p.mbox.queue = append(p.mbox.queue, fn)
+	p.mbox.mu.Unlock()
+	select {
+	case p.mbox.signal <- struct{}{}:
+	default:
+	}
+}
+
+// loop drains the mailbox until the system stops.
+func (p *Proc) loop() {
+	for {
+		<-p.mbox.signal
+		if p.stopped.Load() {
+			return
+		}
+		for {
+			p.mbox.mu.Lock()
+			if len(p.mbox.queue) == 0 {
+				p.mbox.mu.Unlock()
+				break
+			}
+			fn := p.mbox.queue[0]
+			p.mbox.queue = p.mbox.queue[1:]
+			p.mbox.mu.Unlock()
+			if p.stopped.Load() {
+				return
+			}
+			if !p.crashed.Load() {
+				fn()
+			}
+		}
+	}
+}
+
+// ID implements proto.Runtime.
+func (p *Proc) ID() proto.PID { return p.id }
+
+// N implements proto.Runtime.
+func (p *Proc) N() int { return len(p.sys.procs) }
+
+// Now implements proto.Runtime: wall-clock time since Start, expressed on
+// the same axis the simulation uses.
+func (p *Proc) Now() sim.Time { return sim.Time(time.Since(p.sys.epoch)) }
+
+// Rand implements proto.Runtime.
+func (p *Proc) Rand() *sim.Rand { return p.rng }
+
+// delay computes one message's transit time.
+func (p *Proc) delay() time.Duration {
+	d := p.sys.cfg.Latency
+	if j := p.sys.cfg.Jitter; j > 0 {
+		p.rngMu.Lock()
+		d += time.Duration(p.rng.Float64() * float64(j))
+		p.rngMu.Unlock()
+	}
+	return d
+}
+
+// Send implements proto.Runtime.
+func (p *Proc) Send(to proto.PID, payload any) {
+	if p.crashed.Load() {
+		return
+	}
+	p.transmit(to, payload)
+}
+
+// Multicast implements proto.Runtime: delivered to everyone including the
+// sender (the local copy skips the transit delay, as in the simulation).
+func (p *Proc) Multicast(payload any) {
+	if p.crashed.Load() {
+		return
+	}
+	for _, dst := range p.sys.procs {
+		p.transmit(dst.id, payload)
+	}
+}
+
+func (p *Proc) transmit(to proto.PID, payload any) {
+	dst := p.sys.procs[to]
+	from := p.id
+	deliver := func() {
+		dst.post(func() { dst.handler.OnMessage(from, payload) })
+	}
+	if to == p.id {
+		deliver()
+		return
+	}
+	time.AfterFunc(p.delay(), deliver)
+}
+
+// After implements proto.Runtime; the callback runs on the process
+// goroutine and is dropped after a crash.
+func (p *Proc) After(d time.Duration, fn func()) proto.Timer {
+	t := time.AfterFunc(d, func() {
+		p.post(fn)
+	})
+	return timerAdapter{t}
+}
+
+// Suspects implements proto.Runtime. The real-time system has no modelled
+// failure detector: without a concrete detector (internal/hbfd) nobody is
+// ever suspected.
+func (p *Proc) Suspects(proto.PID) bool { return false }
+
+// timerAdapter adapts *time.Timer to proto.Timer.
+type timerAdapter struct{ t *time.Timer }
+
+func (a timerAdapter) Cancel() { a.t.Stop() }

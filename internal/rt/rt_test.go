@@ -1,0 +1,274 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ctabcast"
+	"repro/internal/hbfd"
+	"repro/internal/proto"
+)
+
+// collector gathers deliveries thread-safely across process goroutines.
+type collector struct {
+	mu   sync.Mutex
+	seqs map[int][]proto.MsgID
+}
+
+func newCollector() *collector {
+	return &collector{seqs: make(map[int][]proto.MsgID)}
+}
+
+func (c *collector) add(p int, id proto.MsgID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seqs[p] = append(c.seqs[p], id)
+}
+
+func (c *collector) snapshot(p int) []proto.MsgID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]proto.MsgID, len(c.seqs[p]))
+	copy(out, c.seqs[p])
+	return out
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// echoHandler replies "pong" to "ping".
+type echoHandler struct {
+	rt   proto.Runtime
+	mu   sync.Mutex
+	seen []string
+}
+
+func (h *echoHandler) Init() {}
+
+func (h *echoHandler) OnMessage(from proto.PID, payload any) {
+	s := payload.(string)
+	h.mu.Lock()
+	h.seen = append(h.seen, s)
+	h.mu.Unlock()
+	if s == "ping" {
+		h.rt.Send(from, "pong")
+	}
+}
+
+func (h *echoHandler) OnSuspect(proto.PID) {}
+func (h *echoHandler) OnTrust(proto.PID)   {}
+
+func (h *echoHandler) has(s string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, got := range h.seen {
+		if got == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPingPong(t *testing.T) {
+	sys := NewSystem(Config{N: 2})
+	defer sys.Stop()
+	handlers := make([]*echoHandler, 2)
+	for i := 0; i < 2; i++ {
+		handlers[i] = &echoHandler{rt: sys.Proc(proto.PID(i))}
+		sys.SetHandler(proto.PID(i), handlers[i])
+	}
+	sys.Start()
+	sys.Proc(0).post(func() { sys.Proc(0).Send(1, "ping") })
+	eventually(t, time.Second, func() bool { return handlers[0].has("pong") },
+		"no pong within deadline")
+}
+
+func TestMulticastReachesAllIncludingSelf(t *testing.T) {
+	sys := NewSystem(Config{N: 3})
+	defer sys.Stop()
+	handlers := make([]*echoHandler, 3)
+	for i := 0; i < 3; i++ {
+		handlers[i] = &echoHandler{rt: sys.Proc(proto.PID(i))}
+		sys.SetHandler(proto.PID(i), handlers[i])
+	}
+	sys.Start()
+	sys.Proc(2).post(func() { sys.Proc(2).Multicast("hello") })
+	eventually(t, time.Second, func() bool {
+		for _, h := range handlers {
+			if !h.has("hello") {
+				return false
+			}
+		}
+		return true
+	}, "multicast incomplete")
+}
+
+func TestTimersFireOnProcessGoroutine(t *testing.T) {
+	sys := NewSystem(Config{N: 1})
+	defer sys.Stop()
+	h := &echoHandler{rt: sys.Proc(0)}
+	sys.SetHandler(0, h)
+	sys.Start()
+	fired := make(chan struct{})
+	sys.Proc(0).After(5*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestCancelledTimerDoesNotFire(t *testing.T) {
+	sys := NewSystem(Config{N: 1})
+	defer sys.Stop()
+	h := &echoHandler{rt: sys.Proc(0)}
+	sys.SetHandler(0, h)
+	sys.Start()
+	fired := make(chan struct{}, 1)
+	timer := sys.Proc(0).After(20*time.Millisecond, func() { fired <- struct{}{} })
+	timer.Cancel()
+	select {
+	case <-fired:
+		t.Fatal("cancelled timer fired")
+	case <-time.After(60 * time.Millisecond):
+	}
+}
+
+func TestCrashedProcessGoesSilent(t *testing.T) {
+	sys := NewSystem(Config{N: 2})
+	defer sys.Stop()
+	handlers := make([]*echoHandler, 2)
+	for i := 0; i < 2; i++ {
+		handlers[i] = &echoHandler{rt: sys.Proc(proto.PID(i))}
+		sys.SetHandler(proto.PID(i), handlers[i])
+	}
+	sys.Start()
+	sys.Crash(1)
+	sys.Proc(0).post(func() { sys.Proc(0).Send(1, "ping") })
+	time.Sleep(50 * time.Millisecond)
+	if handlers[1].has("ping") {
+		t.Fatal("crashed process handled a message")
+	}
+	if handlers[0].has("pong") {
+		t.Fatal("crashed process replied")
+	}
+	if !sys.Crashed(1) || sys.Crashed(0) {
+		t.Fatal("crash bookkeeping wrong")
+	}
+}
+
+// TestAtomicBroadcastRealTime runs the full FD algorithm — consensus,
+// reliable broadcast, heartbeat failure detection — over goroutines and
+// wall-clock time, with a mid-run crash of the coordinator. The survivors
+// must deliver every surviving broadcast in a single total order.
+func TestAtomicBroadcastRealTime(t *testing.T) {
+	const n = 3
+	sys := NewSystem(Config{N: n, Latency: 100 * time.Microsecond})
+	defer sys.Stop()
+	col := newCollector()
+	abcs := make([]*ctabcast.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		w := hbfd.Wrap(sys.Proc(proto.PID(i)),
+			hbfd.Config{Interval: 2 * time.Millisecond, Timeout: 10 * time.Millisecond},
+			func(rt proto.Runtime) proto.Handler {
+				abcs[i] = ctabcast.New(rt, ctabcast.Config{
+					Renumber: true,
+					Deliver:  func(id proto.MsgID, body any) { col.add(i, id) },
+				})
+				return abcs[i]
+			})
+		sys.SetHandler(proto.PID(i), w)
+	}
+	sys.Start()
+
+	// Broadcast 30 messages from p1 and p2 (p0 will crash).
+	for k := 0; k < 30; k++ {
+		k := k
+		sender := 1 + k%2
+		p := sys.Proc(proto.PID(sender))
+		time.AfterFunc(time.Duration(k)*2*time.Millisecond, func() {
+			p.post(func() { abcs[sender].ABroadcast(fmt.Sprintf("m%d", k)) })
+		})
+	}
+	time.AfterFunc(20*time.Millisecond, func() { sys.Crash(0) })
+
+	eventually(t, 10*time.Second, func() bool {
+		return len(col.snapshot(1)) >= 30 && len(col.snapshot(2)) >= 30
+	}, "survivors did not deliver all 30 messages in time")
+
+	a, b := col.snapshot(1), col.snapshot(2)
+	limit := len(a)
+	if len(b) < limit {
+		limit = len(b)
+	}
+	for i := 0; i < limit; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("total order violated at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	seen := make(map[proto.MsgID]bool)
+	for _, id := range a {
+		if seen[id] {
+			t.Fatalf("duplicate delivery %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("N=0 did not panic")
+			}
+		}()
+		NewSystem(Config{N: 0})
+	}()
+	func() {
+		sys := NewSystem(Config{N: 1})
+		defer sys.Stop()
+		defer func() {
+			if recover() == nil {
+				t.Error("missing handler did not panic")
+			}
+		}()
+		sys.Start()
+	}()
+	func() {
+		sys := NewSystem(Config{N: 1})
+		defer sys.Stop()
+		sys.SetHandler(0, &echoHandler{rt: sys.Proc(0)})
+		sys.Start()
+		defer func() {
+			if recover() == nil {
+				t.Error("second Start did not panic")
+			}
+		}()
+		sys.Start()
+	}()
+}
+
+func TestNowAdvances(t *testing.T) {
+	sys := NewSystem(Config{N: 1})
+	defer sys.Stop()
+	sys.SetHandler(0, &echoHandler{rt: sys.Proc(0)})
+	sys.Start()
+	t0 := sys.Proc(0).Now()
+	time.Sleep(5 * time.Millisecond)
+	if sys.Proc(0).Now() <= t0 {
+		t.Fatal("clock did not advance")
+	}
+}

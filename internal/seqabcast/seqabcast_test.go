@@ -1,0 +1,522 @@
+package seqabcast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/gm"
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// cluster is an end-to-end harness for the GM algorithm over the full
+// simulated stack.
+type cluster struct {
+	eng        *sim.Engine
+	sys        *proto.System
+	procs      []*Process
+	deliveries [][]delivery
+	sent       map[proto.MsgID]sim.Time
+}
+
+type delivery struct {
+	id proto.MsgID
+	at sim.Time
+}
+
+type clusterOpts struct {
+	n        int
+	qos      fd.QoS
+	uniform  *bool // nil means uniform (the paper's main variant)
+	seed     uint64
+	preCrash []proto.PID
+	members  []proto.PID // initial view; nil means all
+}
+
+func newCluster(o clusterOpts) *cluster {
+	if o.seed == 0 {
+		o.seed = 1
+	}
+	uniform := true
+	if o.uniform != nil {
+		uniform = *o.uniform
+	}
+	eng := sim.New()
+	sys := proto.NewSystem(eng, netmodel.DefaultConfig(o.n), o.qos, sim.NewRand(o.seed))
+	c := &cluster{
+		eng:        eng,
+		sys:        sys,
+		procs:      make([]*Process, o.n),
+		deliveries: make([][]delivery, o.n),
+		sent:       make(map[proto.MsgID]sim.Time),
+	}
+	for i := 0; i < o.n; i++ {
+		i := i
+		c.procs[i] = New(sys.Proc(proto.PID(i)), Config{
+			Uniform:        uniform,
+			InitialMembers: o.members,
+			Deliver: func(id proto.MsgID, body any) {
+				c.deliveries[i] = append(c.deliveries[i], delivery{id: id, at: eng.Now()})
+			},
+		})
+		sys.SetHandler(proto.PID(i), c.procs[i])
+	}
+	for _, p := range o.preCrash {
+		sys.PreCrash(p)
+	}
+	sys.Start()
+	return c
+}
+
+func (c *cluster) broadcastAt(p proto.PID, at sim.Time) {
+	c.eng.Schedule(at, func() {
+		id := c.procs[p].ABroadcast(fmt.Sprintf("m-%d-%v", p, at))
+		c.sent[id] = at
+	})
+}
+
+func (c *cluster) run(horizon time.Duration) {
+	c.eng.RunUntil(sim.Time(0).Add(horizon))
+}
+
+func (c *cluster) ids(p int) []proto.MsgID {
+	out := make([]proto.MsgID, len(c.deliveries[p]))
+	for i, d := range c.deliveries[p] {
+		out[i] = d.id
+	}
+	return out
+}
+
+func (c *cluster) checkTotalOrder(t *testing.T) {
+	t.Helper()
+	ref := -1
+	for p := range c.procs {
+		if c.sys.Proc(proto.PID(p)).Crashed() {
+			continue
+		}
+		if ref < 0 || len(c.deliveries[p]) > len(c.deliveries[ref]) {
+			ref = p
+		}
+	}
+	if ref < 0 {
+		t.Fatal("no correct process")
+	}
+	refIDs := c.ids(ref)
+	seen := make(map[proto.MsgID]bool, len(refIDs))
+	for _, id := range refIDs {
+		if seen[id] {
+			t.Fatalf("duplicate delivery of %v at p%d", id, ref)
+		}
+		seen[id] = true
+	}
+	for p := range c.procs {
+		if p == ref || c.sys.Proc(proto.PID(p)).Crashed() {
+			continue
+		}
+		ids := c.ids(p)
+		for i := range ids {
+			if i >= len(refIDs) || ids[i] != refIDs[i] {
+				t.Fatalf("order mismatch at index %d: p%d has %v, p%d has %v",
+					i, p, ids[i], ref, refIDs[i])
+			}
+		}
+	}
+}
+
+func (c *cluster) checkAllDelivered(t *testing.T) {
+	t.Helper()
+	for p := range c.procs {
+		if c.sys.Proc(proto.PID(p)).Crashed() {
+			continue
+		}
+		got := make(map[proto.MsgID]bool)
+		for _, d := range c.deliveries[p] {
+			got[d.id] = true
+		}
+		for id := range c.sent {
+			if !got[id] {
+				t.Fatalf("p%d never delivered %v (%d/%d delivered)", p, id, len(got), len(c.sent))
+			}
+		}
+	}
+}
+
+func (c *cluster) checkUniformAgreement(t *testing.T) {
+	t.Helper()
+	everywhere := make(map[proto.MsgID]bool)
+	for p := range c.procs {
+		for _, d := range c.deliveries[p] {
+			everywhere[d.id] = true
+		}
+	}
+	for p := range c.procs {
+		if c.sys.Proc(proto.PID(p)).Crashed() {
+			continue
+		}
+		got := make(map[proto.MsgID]bool)
+		for _, d := range c.deliveries[p] {
+			got[d.id] = true
+		}
+		for id := range everywhere {
+			if !got[id] {
+				t.Fatalf("uniform agreement violated: %v missing at correct p%d", id, p)
+			}
+		}
+	}
+}
+
+func at(msf float64) sim.Time { return sim.Time(0).Add(sim.Millis(msf)) }
+
+func boolPtr(b bool) *bool { return &b }
+
+func TestSingleBroadcastLatencyMatchesFDAlgorithm(t *testing.T) {
+	// §4.4: failure-free message pattern identical to the FD algorithm,
+	// so the hand-computed timings from the ctabcast tests must hold
+	// exactly: sequencer at 7 ms, the others at 11 ms.
+	c := newCluster(clusterOpts{n: 3})
+	c.broadcastAt(0, 0)
+	c.run(time.Second)
+	for p := 0; p < 3; p++ {
+		if len(c.deliveries[p]) != 1 {
+			t.Fatalf("p%d delivered %d, want 1", p, len(c.deliveries[p]))
+		}
+	}
+	if got := c.deliveries[0][0].at; got != at(7) {
+		t.Fatalf("sequencer delivered at %v, want 7ms", got)
+	}
+	for p := 1; p < 3; p++ {
+		if got := c.deliveries[p][0].at; got != at(11) {
+			t.Fatalf("p%d delivered at %v, want 11ms", p, got)
+		}
+	}
+}
+
+func TestTotalOrderUnderConcurrentLoad(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3})
+	for i := 0; i < 20; i++ {
+		for p := 0; p < 3; p++ {
+			c.broadcastAt(proto.PID(p), at(float64(2*i)))
+		}
+	}
+	c.run(5 * time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+func TestSevenProcesses(t *testing.T) {
+	c := newCluster(clusterOpts{n: 7})
+	for i := 0; i < 14; i++ {
+		c.broadcastAt(proto.PID(i%7), at(float64(5*i)))
+	}
+	c.run(time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+func TestSequencerCrashTriggersViewChange(t *testing.T) {
+	td := 10 * time.Millisecond
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: td}})
+	crash := at(50)
+	c.sys.CrashAt(0, crash)
+	c.broadcastAt(1, crash) // broadcast at the crash instant
+	c.run(2 * time.Second)
+	for p := 1; p < 3; p++ {
+		if len(c.deliveries[p]) != 1 {
+			t.Fatalf("survivor p%d delivered %d, want 1", p, len(c.deliveries[p]))
+		}
+		if got := c.deliveries[p][0].at; got.Sub(crash) <= td {
+			t.Fatalf("delivery at %v before detection completed", got)
+		}
+	}
+	c.checkTotalOrder(t)
+	// The view excludes the sequencer; p1 takes over.
+	v := c.procs[1].View()
+	if v.Contains(0) || v.Primary() != 1 {
+		t.Fatalf("view after crash = %v, want {1 2} led by 1", v)
+	}
+}
+
+func TestNonSequencerCrashAlsoCostsAViewChange(t *testing.T) {
+	// §4.4: "the GM algorithm reacts to the crash of every process" —
+	// unlike the FD algorithm, crashing a non-coordinator still
+	// reconfigures.
+	td := 10 * time.Millisecond
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: td}})
+	c.sys.CrashAt(2, at(50))
+	c.broadcastAt(1, at(100))
+	c.run(2 * time.Second)
+	v := c.procs[0].View()
+	if v.ID != 2 || v.Contains(2) {
+		t.Fatalf("view = %v, want second view without p2", v)
+	}
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+func TestInFlightMessagesSurviveViewChange(t *testing.T) {
+	// Messages broadcast just before and during the view change are
+	// delivered exactly once, in the same order everywhere.
+	td := 10 * time.Millisecond
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: td}})
+	for i := 0; i < 10; i++ {
+		c.broadcastAt(proto.PID(1+i%2), at(float64(45+i)))
+	}
+	c.sys.CrashAt(0, at(50))
+	c.run(2 * time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+	c.checkUniformAgreement(t)
+}
+
+func TestWrongSuspicionCausesExclusionAndRejoin(t *testing.T) {
+	// p1 wrongly suspects the sequencer for a long TM: the view change
+	// excludes p0, which later rejoins via state transfer. Everything is
+	// eventually delivered everywhere in one total order.
+	c := newCluster(clusterOpts{n: 3})
+	c.eng.Schedule(at(20), func() {
+		c.sys.FDs.InjectMistake(1, 0, 100*time.Millisecond)
+	})
+	for i := 0; i < 20; i++ {
+		c.broadcastAt(proto.PID(i%3), at(float64(10+5*i)))
+	}
+	c.run(3 * time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+	// p0 must have been excluded at some point and be back now.
+	if c.procs[0].IsExcluded() {
+		t.Fatal("p0 still excluded after the mistake ended")
+	}
+	if v := c.procs[0].View(); v.ID < 3 {
+		t.Fatalf("view %v: expected at least exclusion + rejoin changes", v)
+	}
+}
+
+func TestExcludedProcessQueuesBroadcasts(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3})
+	// Exclude p2 via a long mistake at both peers.
+	c.eng.Schedule(at(10), func() {
+		c.sys.FDs.InjectMistake(0, 2, 80*time.Millisecond)
+		c.sys.FDs.InjectMistake(1, 2, 80*time.Millisecond)
+	})
+	// p2 broadcasts while excluded.
+	c.broadcastAt(2, at(40))
+	c.run(3 * time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+	// The message could only be delivered after p2 rejoined, i.e. well
+	// after the mistake ended at ~90ms.
+	first := c.deliveries[0][0].at
+	if first < at(90) {
+		t.Fatalf("queued broadcast delivered at %v, before the rejoin", first)
+	}
+}
+
+func TestSuspicionOfNonSequencerWithTMZero(t *testing.T) {
+	// TM = 0: a wrong suspicion still costs a full reconfiguration — the
+	// suspected process is excluded like a crashed one would be (§4.4)
+	// and rejoins right away, since the mistake is already over.
+	c := newCluster(clusterOpts{n: 3})
+	c.eng.Schedule(at(20), func() { c.sys.FDs.InjectMistake(0, 1, 0) })
+	c.broadcastAt(2, at(21))
+	c.run(time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+	v := c.procs[0].View()
+	if len(v.Members) != 3 {
+		t.Fatalf("members = %v, want all 3 back after the rejoin", v.Members)
+	}
+	if v.ID < 3 {
+		t.Fatalf("view ID = %d, want >= 3 (exclusion + rejoin)", v.ID)
+	}
+	if c.procs[1].IsExcluded() {
+		t.Fatal("p1 still excluded")
+	}
+}
+
+func TestCrashSteadyInitialView(t *testing.T) {
+	// Crash-steady scenario: p2 crashed long ago; the initial view is
+	// the survivors and nothing ever reconfigures.
+	c := newCluster(clusterOpts{
+		n:        3,
+		preCrash: []proto.PID{2},
+		members:  []proto.PID{0, 1},
+	})
+	for i := 0; i < 10; i++ {
+		c.broadcastAt(proto.PID(i%2), at(float64(5*i)))
+	}
+	c.run(time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+	if v := c.procs[0].View(); v.ID != 1 {
+		t.Fatalf("view changed in crash-steady scenario: %v", v)
+	}
+}
+
+func TestNonUniformVariantTwoMulticasts(t *testing.T) {
+	// §8: the non-uniform variant costs exactly two multicasts and no
+	// unicasts per broadcast.
+	c := newCluster(clusterOpts{n: 3, uniform: boolPtr(false)})
+	c.broadcastAt(0, 0)
+	c.run(time.Second)
+	for p := 0; p < 3; p++ {
+		if len(c.deliveries[p]) != 1 {
+			t.Fatalf("p%d delivered %d, want 1", p, len(c.deliveries[p]))
+		}
+	}
+	counters := c.sys.Net.Counters()
+	if counters.Multicasts != 2 || counters.Unicasts != 0 {
+		t.Fatalf("counters = %+v, want 2 multicasts and 0 unicasts", counters)
+	}
+	// The sequencer delivers at seqnum assignment: first delivery well
+	// before the uniform variant's 7 ms.
+	if got := c.deliveries[0][0].at; got >= at(7) {
+		t.Fatalf("non-uniform sequencer delivered at %v, want < 7ms", got)
+	}
+}
+
+func TestNonUniformTotalOrderUnderLoad(t *testing.T) {
+	c := newCluster(clusterOpts{n: 5, uniform: boolPtr(false)})
+	for i := 0; i < 30; i++ {
+		c.broadcastAt(proto.PID(i%5), at(float64(2*i)))
+	}
+	c.run(2 * time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+func TestSequencerAdvantageWithCrashes(t *testing.T) {
+	// Fig. 5's GM edge: with crashes long past, the view shrinks and the
+	// sequencer needs fewer acks. With n=7 and 3 crashed, the view is 4
+	// strong and majority is 3 — the protocol still works.
+	c := newCluster(clusterOpts{
+		n:        7,
+		preCrash: []proto.PID{4, 5, 6},
+		members:  []proto.PID{0, 1, 2, 3},
+	})
+	for i := 0; i < 10; i++ {
+		c.broadcastAt(proto.PID(i%4), at(float64(5*i)))
+	}
+	c.run(time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+func TestRandomisedFaultSchedules(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		rng := sim.NewRand(seed * 7919)
+		n := 3 + 2*rng.Intn(2)
+		c := newCluster(clusterOpts{
+			n:    n,
+			qos:  fd.QoS{TD: 10 * time.Millisecond, TMR: 400 * time.Millisecond, TM: 10 * time.Millisecond},
+			seed: seed,
+		})
+		for i := 0; i < 25; i++ {
+			c.broadcastAt(proto.PID(rng.Intn(n)), at(float64(rng.Intn(500))))
+		}
+		// At most one crash: combined with wrong suspicions, more would
+		// risk losing the primary partition entirely.
+		var crashed proto.PID = -1
+		if rng.Intn(2) == 0 {
+			crashed = proto.PID(rng.Intn(n))
+			c.sys.CrashAt(crashed, at(float64(200+rng.Intn(200))))
+		}
+		// Give the run a quiescent tail so liveness is assertable.
+		c.eng.Schedule(at(30000), func() { c.sys.FDs.StopMistakes() })
+		c.run(60 * time.Second)
+		c.checkTotalOrder(t)
+		// Liveness: messages from correct senders reach all correct
+		// processes once the mistakes die down.
+		for id := range c.sent {
+			if id.Origin == crashed {
+				continue
+			}
+			for p := 0; p < n; p++ {
+				if c.sys.Proc(proto.PID(p)).Crashed() {
+					continue
+				}
+				found := false
+				for _, d := range c.deliveries[p] {
+					if d.id == id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: %v missing at p%d", seed, id, p)
+				}
+			}
+		}
+	}
+}
+
+func TestViewSynchronyAcrossExclusion(t *testing.T) {
+	// The rejoining process's delivery sequence must be a prefix-
+	// consistent continuation: no gaps, no reordering versus the group.
+	c := newCluster(clusterOpts{n: 3})
+	c.eng.Schedule(at(30), func() {
+		c.sys.FDs.InjectMistake(0, 1, 60*time.Millisecond)
+	})
+	for i := 0; i < 30; i++ {
+		c.broadcastAt(proto.PID(i%3), at(float64(10+4*i)))
+	}
+	c.run(3 * time.Second)
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []delivery {
+		c := newCluster(clusterOpts{
+			n:    3,
+			qos:  fd.QoS{TMR: 150 * time.Millisecond, TM: 10 * time.Millisecond},
+			seed: 4242,
+		})
+		for i := 0; i < 20; i++ {
+			c.broadcastAt(proto.PID(i%3), at(float64(8*i)))
+		}
+		c.run(5 * time.Second)
+		return c.deliveries[2]
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Deliver did not panic")
+		}
+	}()
+	eng := sim.New()
+	sys := proto.NewSystem(eng, netmodel.DefaultConfig(1), fd.QoS{}, sim.NewRand(1))
+	New(sys.Proc(0), Config{})
+}
+
+func TestViewAccessors(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3})
+	c.run(10 * time.Millisecond)
+	if !c.procs[0].IsSequencer() || c.procs[1].IsSequencer() {
+		t.Fatal("sequencer role wrong")
+	}
+	if c.procs[1].IsExcluded() {
+		t.Fatal("member reported excluded")
+	}
+	v := c.procs[0].View()
+	if v.ID != 1 || len(v.Members) != 3 || v.Primary() != 0 {
+		t.Fatalf("initial view = %v", v)
+	}
+	if got := v.String(); got != "v1[0 1 2]" {
+		t.Fatalf("View.String() = %q", got)
+	}
+	_ = gm.View{} // keep the import for the helper types
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+)
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (SplitMix64). It is not cryptographically secure; it exists so that
+// simulations are reproducible bit-for-bit across platforms and Go
+// versions, which math/rand does not guarantee across major releases.
+//
+// Independent streams for independent stochastic processes (one per
+// failure-detector module, one per workload source, ...) are derived with
+// Fork, mirroring the paper's assumption that all failure-detector modules
+// are independent.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the
+// same seed produce the same sequence.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// splitmix64 step; constants from Steele, Lea & Flood (2014).
+func (r *Rand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.next() }
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics if
+// n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean,
+// via inverse-transform sampling. A non-positive mean returns 0, which is
+// how the paper's "TM = 0" (instantaneous mistakes) case is expressed.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Guard u == 0: -ln(0) is +Inf.
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Fork derives an independent generator from r and a label. Forking with
+// distinct labels yields streams that do not overlap in practice; forking
+// with the same label twice yields distinct streams as well, because the
+// parent state advances on each call.
+func (r *Rand) Fork(label string) *Rand {
+	h := fnv64(label)
+	return NewRand(mix64(r.next() ^ h))
+}
+
+// ForkN derives an independent generator indexed by an integer, for
+// per-process or per-pair streams.
+func (r *Rand) ForkN(index int) *Rand {
+	return NewRand(mix64(r.next() ^ (0x9e3779b97f4a7c15 * uint64(index+1))))
+}
+
+// fnv64 hashes a string with FNV-1a.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 is a finalizing mixer (Stafford variant 13) used to decorrelate
+// derived seeds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,212 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, a cancellable event queue, and seedable random number
+// streams.
+//
+// The kernel plays the role that the Neko framework played in the paper
+// "Comparison of Failure Detectors and Group Membership" (Urbán,
+// Shnayderman, Schiper; DSN 2003): it executes protocol code against a
+// simulated environment. The engine is single-threaded; callbacks run one
+// at a time in a deterministic order, so a simulation is reproducible
+// bit-for-bit from its seed. Events scheduled for the same instant run in
+// the order they were scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant of virtual time, expressed in nanoseconds since the
+// start of the simulation. The zero value is the simulation start.
+//
+// The paper sets one network time unit equal to 1 ms; all experiment code
+// follows that convention, but nothing in the kernel depends on it.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the instant to the duration elapsed since the
+// simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the instant as a floating-point number of seconds since
+// the simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Milliseconds returns the instant as a floating-point number of
+// milliseconds since the simulation start.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(time.Millisecond) }
+
+// String formats the instant as a millisecond value, the unit used
+// throughout the paper.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
+
+// Millis converts a floating-point number of milliseconds to a
+// time.Duration. It is a convenience for experiment configuration, where
+// the paper quotes every parameter in milliseconds.
+func Millis(ms float64) time.Duration {
+	if math.IsInf(ms, 1) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Event is a scheduled callback. It is returned by Engine.Schedule and
+// Engine.After so that the caller can cancel it before it fires.
+type Event struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// When returns the instant the event is scheduled to fire at.
+func (ev *Event) When() Time { return ev.when }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Engine is a discrete-event simulation executor. The zero value is not
+// usable; create engines with New.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics and for
+	// runaway-simulation guards in tests.
+	executed uint64
+}
+
+// New returns an engine with the clock at zero and an empty event queue.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events that have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled, including
+// cancelled events that have not yet been discarded.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule registers fn to run at instant at. Scheduling in the past
+// (before Now) panics: it would silently reorder causality, which is
+// always a bug in the caller.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := &Event{when: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d after the current instant. Negative
+// durations panic, zero durations run after the current callback returns.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Stop makes the current Run or RunUntil call return after the in-progress
+// callback finishes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains or Stop is
+// called. It returns the number of events executed by this call.
+func (e *Engine) Run() uint64 {
+	return e.run(Time(math.MaxInt64))
+}
+
+// RunUntil executes events with timestamps at or before deadline, then
+// advances the clock to deadline. It returns the number of events executed
+// by this call.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	n := e.run(deadline)
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+func (e *Engine) run(deadline Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for e.queue.Len() > 0 && !e.stopped {
+		ev := e.queue.peek()
+		if ev.when > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.cancelled {
+			continue
+		}
+		if ev.when < e.now {
+			// Heap invariant violated; cannot happen unless memory is
+			// corrupted, but guard anyway rather than run time backwards.
+			panic(fmt.Sprintf("sim: event at %v before now %v", ev.when, e.now))
+		}
+		e.now = ev.when
+		e.executed++
+		n++
+		ev.fn()
+	}
+	return n
+}
+
+// eventQueue is a binary heap of events ordered by (when, seq). The seq
+// tie-break makes same-instant events fire in scheduling order, which is
+// what keeps executions deterministic.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+func (q eventQueue) peek() *Event { return q[0] }

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestHeapOrderingProperty: whatever the mix of schedules and
+// cancellations, events fire in nondecreasing time order and cancelled
+// events never fire.
+func TestHeapOrderingProperty(t *testing.T) {
+	type op struct {
+		At     uint16
+		Cancel bool // cancel the most recently scheduled live event
+	}
+	f := func(ops []op) bool {
+		e := New()
+		var fired []Time
+		var live []*Event
+		cancelled := make(map[*Event]bool)
+		for _, o := range ops {
+			if o.Cancel && len(live) > 0 {
+				ev := live[len(live)-1]
+				live = live[:len(live)-1]
+				ev.Cancel()
+				cancelled[ev] = true
+				continue
+			}
+			at := Time(o.At) * Time(time.Millisecond)
+			var ev *Event
+			ev = e.Schedule(at, func() { fired = append(fired, e.Now()) })
+			live = append(live, ev)
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapMassiveRandomSchedule: 100k events in random order fire sorted.
+func TestHeapMassiveRandomSchedule(t *testing.T) {
+	e := New()
+	r := NewRand(77)
+	const n = 100000
+	want := make([]Time, 0, n)
+	got := make([]Time, 0, n)
+	for i := 0; i < n; i++ {
+		at := Time(r.Intn(1 << 30))
+		want = append(want, at)
+		e.Schedule(at, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != n {
+		t.Fatalf("fired %d, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunUntilNeverMovesBackwards: interleaved RunUntil calls with random
+// deadlines keep the clock monotone.
+func TestRunUntilNeverMovesBackwards(t *testing.T) {
+	f := func(deadlines []uint16) bool {
+		e := New()
+		for i := 0; i < 50; i++ {
+			e.Schedule(Time(i)*Time(time.Millisecond), func() {})
+		}
+		prev := Time(0)
+		for _, d := range deadlines {
+			e.RunUntil(Time(d) * Time(time.Millisecond))
+			if e.Now() < prev {
+				return false
+			}
+			prev = e.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelDuringExecutionOfSameInstant: an event cancelling its
+// same-instant successor must win (scheduling order is execution order).
+func TestCancelDuringExecutionOfSameInstant(t *testing.T) {
+	e := New()
+	ran := false
+	var second *Event
+	e.Schedule(Time(5), func() { second.Cancel() })
+	second = e.Schedule(Time(5), func() { ran = true })
+	e.Run()
+	if ran {
+		t.Fatal("same-instant successor ran despite cancellation")
+	}
+}

@@ -1,0 +1,67 @@
+// Package workload generates the paper's benchmark load (§5.1): every
+// process A-broadcasts messages drawn from a Poisson process, all senders
+// at the same constant rate, so the overall arrival rate is the
+// throughput T the latency-vs-throughput figures sweep.
+package workload
+
+import (
+	"repro/internal/sim"
+)
+
+// Poisson schedules events with exponentially distributed gaps on a
+// simulation engine.
+type Poisson struct {
+	eng     *sim.Engine
+	rng     *sim.Rand
+	meanGap float64 // milliseconds between events
+	fire    func()
+	next    *sim.Event
+	stopped bool
+}
+
+// NewPoisson creates a source firing at the given rate (events per second
+// of virtual time). A non-positive rate yields a source that never fires.
+// The source starts immediately; the first event is one exponential gap
+// away, making the process stationary from t=0.
+func NewPoisson(eng *sim.Engine, rng *sim.Rand, rate float64, fire func()) *Poisson {
+	p := &Poisson{eng: eng, rng: rng, fire: fire}
+	if rate > 0 {
+		p.meanGap = 1000 / rate
+		p.schedule()
+	}
+	return p
+}
+
+func (p *Poisson) schedule() {
+	gap := sim.Millis(p.rng.Exp(p.meanGap))
+	p.next = p.eng.After(gap, func() {
+		if p.stopped {
+			return
+		}
+		p.fire()
+		p.schedule()
+	})
+}
+
+// Stop halts the source permanently.
+func (p *Poisson) Stop() {
+	p.stopped = true
+	if p.next != nil {
+		p.next.Cancel()
+	}
+}
+
+// Spread starts one Poisson source per sender, each at rate
+// total/nominal, and returns them. This is the paper's workload: the
+// per-process rate is fixed by the nominal system size, so in the
+// crash-steady scenarios crashed processes simply contribute nothing —
+// the effective load drops, exactly as §7 describes.
+func Spread(eng *sim.Engine, rng *sim.Rand, total float64, nominal int, senders []int, fire func(sender int)) []*Poisson {
+	perProcess := total / float64(nominal)
+	out := make([]*Poisson, 0, len(senders))
+	for _, s := range senders {
+		s := s
+		out = append(out, NewPoisson(eng, rng.ForkN(s), perProcess, func() { fire(s) }))
+	}
+	return out
+}

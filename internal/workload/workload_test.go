@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestPoissonRate(t *testing.T) {
+	eng := sim.New()
+	count := 0
+	NewPoisson(eng, sim.NewRand(1), 100, func() { count++ })
+	horizon := 100 * time.Second
+	eng.RunUntil(sim.Time(0).Add(horizon))
+	want := 100 * horizon.Seconds()
+	if math.Abs(float64(count)-want)/want > 0.05 {
+		t.Fatalf("events = %d, want ~%v", count, want)
+	}
+}
+
+func TestPoissonInterArrivalDistribution(t *testing.T) {
+	eng := sim.New()
+	var times []sim.Time
+	NewPoisson(eng, sim.NewRand(2), 50, func() { times = append(times, eng.Now()) })
+	eng.RunUntil(sim.Time(0).Add(200 * time.Second))
+	if len(times) < 1000 {
+		t.Fatalf("only %d events", len(times))
+	}
+	// Mean gap should be 20ms; coefficient of variation ~1 (exponential).
+	var gaps []float64
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i].Sub(times[i-1]).Seconds()*1000)
+	}
+	mean, m2 := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		m2 += (g - mean) * (g - mean)
+	}
+	sd := math.Sqrt(m2 / float64(len(gaps)-1))
+	if math.Abs(mean-20)/20 > 0.06 {
+		t.Fatalf("mean gap = %v, want ~20ms", mean)
+	}
+	if cv := sd / mean; math.Abs(cv-1) > 0.1 {
+		t.Fatalf("cv = %v, want ~1 for exponential gaps", cv)
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	eng := sim.New()
+	fired := false
+	NewPoisson(eng, sim.NewRand(1), 0, func() { fired = true })
+	eng.RunUntil(sim.Time(0).Add(time.Hour))
+	if fired {
+		t.Fatal("zero-rate source fired")
+	}
+}
+
+func TestStopHaltsSource(t *testing.T) {
+	eng := sim.New()
+	count := 0
+	var p *Poisson
+	p = NewPoisson(eng, sim.NewRand(3), 1000, func() {
+		count++
+		if count == 10 {
+			p.Stop()
+		}
+	})
+	eng.RunUntil(sim.Time(0).Add(time.Minute))
+	if count != 10 {
+		t.Fatalf("events after stop: %d total, want 10", count)
+	}
+}
+
+func TestSpreadSplitsRateAcrossSenders(t *testing.T) {
+	eng := sim.New()
+	counts := make(map[int]int)
+	Spread(eng, sim.NewRand(4), 300, 3, []int{0, 1, 2}, func(s int) { counts[s]++ })
+	horizon := 50 * time.Second
+	eng.RunUntil(sim.Time(0).Add(horizon))
+	for s := 0; s < 3; s++ {
+		want := 100 * horizon.Seconds()
+		if math.Abs(float64(counts[s])-want)/want > 0.07 {
+			t.Fatalf("sender %d fired %d, want ~%v", s, counts[s], want)
+		}
+	}
+}
+
+func TestSpreadWithCrashedSendersKeepsPerProcessRate(t *testing.T) {
+	// Crash-steady semantics: nominal n fixes the per-process rate, and
+	// dead senders just drop out of the total.
+	eng := sim.New()
+	total := 0
+	Spread(eng, sim.NewRand(5), 300, 3, []int{0, 1}, func(int) { total++ })
+	horizon := 50 * time.Second
+	eng.RunUntil(sim.Time(0).Add(horizon))
+	want := 200 * horizon.Seconds() // 2 of 3 senders alive
+	if math.Abs(float64(total)-want)/want > 0.07 {
+		t.Fatalf("total = %d, want ~%v", total, want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sim.Time {
+		eng := sim.New()
+		var times []sim.Time
+		NewPoisson(eng, sim.NewRand(42), 200, func() { times = append(times, eng.Now()) })
+		eng.RunUntil(sim.Time(0).Add(10 * time.Second))
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at event %d", i)
+		}
+	}
+}

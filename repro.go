@@ -1,0 +1,101 @@
+// Package repro is a Go reproduction of "Comparison of Failure Detectors
+// and Group Membership: Performance Study of Two Atomic Broadcast
+// Algorithms" (Urbán, Shnayderman, Schiper; DSN 2003).
+//
+// It provides, from scratch and on the standard library only:
+//
+//   - the Chandra–Toueg uniform atomic broadcast on unreliable failure
+//     detectors (the paper's FD algorithm) with its ♦S consensus and
+//     reliable broadcast substrates;
+//   - a fixed-sequencer uniform atomic broadcast on a view-synchronous
+//     group membership service (the GM algorithm), including exclusion,
+//     rejoin and state transfer, plus the non-uniform §8 variant;
+//   - the paper's simulation methodology: a contention-aware network
+//     model (per-process CPUs + shared wire), failure detectors modelled
+//     by their QoS metrics (TD, TMR, TM), Poisson workloads, and the four
+//     benchmark scenarios (normal-steady, crash-steady, suspicion-steady,
+//     crash-transient).
+//
+// Two entry points:
+//
+//   - the experiment API (RunSteady, RunTransient) reproduces the paper's
+//     figures — see cmd/figures and bench_test.go;
+//   - the Cluster API drives a simulated cluster interactively: broadcast
+//     messages, crash processes, inject wrong suspicions, observe
+//     deliveries and views — see the examples directory.
+//
+// Time inside a simulation is virtual: one network time unit is 1 ms, as
+// in the paper, and simulations are deterministic given a seed.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/fd"
+	"repro/internal/proto"
+)
+
+// Algorithm selects an atomic broadcast implementation.
+type Algorithm = experiment.Algorithm
+
+// The implemented algorithms.
+const (
+	// FD is the Chandra–Toueg atomic broadcast on unreliable failure
+	// detectors.
+	FD = experiment.FD
+	// GM is the fixed-sequencer atomic broadcast on group membership
+	// (uniform).
+	GM = experiment.GM
+	// GMNonUniform is the two-multicast non-uniform sequencer variant.
+	GMNonUniform = experiment.GMNonUniform
+)
+
+// QoS holds the failure-detector quality-of-service parameters of Chen,
+// Toueg and Aguilera: detection time TD, mistake recurrence time TMR and
+// mistake duration TM.
+type QoS = fd.QoS
+
+// MessageID identifies an atomic broadcast message: origin process plus
+// per-origin sequence number.
+type MessageID = proto.MsgID
+
+// Config describes one steady-state experiment point; see the package
+// documentation of internal/experiment for field semantics.
+type Config = experiment.Config
+
+// Result aggregates a steady-state experiment.
+type Result = experiment.Result
+
+// TransientConfig describes a crash-transient experiment.
+type TransientConfig = experiment.TransientConfig
+
+// TransientResult reports a crash-transient experiment.
+type TransientResult = experiment.TransientResult
+
+// RunSteady executes a steady-state scenario (normal-steady, crash-steady
+// or suspicion-steady, depending on Config.Crashed and Config.QoS) and
+// returns latency statistics with 95% confidence intervals.
+func RunSteady(cfg Config) Result { return experiment.RunSteady(cfg) }
+
+// RunTransient measures the crash-transient latency L(p, q): a probe
+// message A-broadcast at the instant of a forced crash.
+func RunTransient(cfg TransientConfig) TransientResult {
+	return experiment.RunTransient(cfg)
+}
+
+// WorstCaseTransient maximises the transient latency over senders (and
+// optionally over the crashed process): the paper's Lcrash.
+func WorstCaseTransient(cfg TransientConfig, sweepCrash bool) TransientResult {
+	return experiment.WorstCaseTransient(cfg, sweepCrash)
+}
+
+// Milliseconds converts a float millisecond count into a time.Duration —
+// a convenience mirroring the paper's habit of quoting everything in ms.
+func Milliseconds(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// ProcessID identifies a process in experiment configurations: 0..N-1.
+// The paper's p1 corresponds to ProcessID 0.
+type ProcessID = proto.PID

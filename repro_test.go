@@ -1,0 +1,190 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuickSteadyRun(t *testing.T) {
+	res := RunSteady(Config{
+		Algorithm:    FD,
+		N:            3,
+		Throughput:   50,
+		Warmup:       200 * time.Millisecond,
+		Measure:      2 * time.Second,
+		Drain:        5 * time.Second,
+		Replications: 2,
+	})
+	if !res.Stable || res.Messages == 0 {
+		t.Fatalf("facade steady run failed: %+v", res)
+	}
+	if res.Latency.Mean < 7 {
+		t.Fatalf("latency %v below physical floor", res.Latency.Mean)
+	}
+}
+
+func TestClusterBroadcastAndDeliver(t *testing.T) {
+	var deliveries []Delivery
+	c := NewCluster(ClusterConfig{
+		Algorithm: FD,
+		N:         3,
+		OnDeliver: func(d Delivery) { deliveries = append(deliveries, d) },
+	})
+	id := c.Broadcast(0, "hello")
+	c.RunUntilIdle()
+	if len(deliveries) != 3 {
+		t.Fatalf("got %d deliveries, want one per process", len(deliveries))
+	}
+	for _, d := range deliveries {
+		if d.ID != id || d.Body != "hello" {
+			t.Fatalf("delivery = %+v", d)
+		}
+	}
+	if deliveries[0].At != 7*time.Millisecond {
+		t.Fatalf("first delivery at %v, want 7ms", deliveries[0].At)
+	}
+}
+
+func TestClusterScheduledOperations(t *testing.T) {
+	count := 0
+	c := NewCluster(ClusterConfig{
+		Algorithm: GM,
+		N:         3,
+		QoS:       Detectors(10, 0, 0),
+		OnDeliver: func(d Delivery) {
+			if d.Process == 1 {
+				count++
+			}
+		},
+	})
+	c.BroadcastAt(1, 5*time.Millisecond, "a")
+	c.CrashAt(0, 20*time.Millisecond)
+	c.BroadcastAt(2, 30*time.Millisecond, "b")
+	c.Run(2 * time.Second)
+	if count != 2 {
+		t.Fatalf("p1 delivered %d messages, want 2 (before and after crash)", count)
+	}
+	if !c.Crashed(0) || c.Crashed(1) {
+		t.Fatal("crash bookkeeping wrong")
+	}
+}
+
+func TestClusterViewObserver(t *testing.T) {
+	var views []ViewInfo
+	c := NewCluster(ClusterConfig{
+		Algorithm: GM,
+		N:         3,
+		OnView: func(v ViewInfo) {
+			if v.Process == 2 {
+				views = append(views, v)
+			}
+		},
+	})
+	c.SuspectAt(0, 1, 10*time.Millisecond, 50*time.Millisecond)
+	c.Run(time.Second)
+	// p2 sees: initial view, the view excluding p1, and the rejoin view.
+	if len(views) < 3 {
+		t.Fatalf("p2 observed %d views, want >= 3: %+v", len(views), views)
+	}
+	if len(views[0].Members) != 3 || views[0].ViewID != 1 {
+		t.Fatalf("initial view = %+v", views[0])
+	}
+	if len(views[1].Members) != 2 {
+		t.Fatalf("exclusion view = %+v", views[1])
+	}
+	last := views[len(views)-1]
+	if len(last.Members) != 3 {
+		t.Fatalf("final view = %+v, want p1 back", last)
+	}
+}
+
+func TestClusterTraceAndStats(t *testing.T) {
+	var events []NetEvent
+	c := NewCluster(ClusterConfig{Algorithm: GMNonUniform, N: 3})
+	c.SetTrace(func(ev NetEvent) { events = append(events, ev) })
+	c.Broadcast(0, "x")
+	c.RunUntilIdle()
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	st := c.Stats()
+	if st.Multicasts != 2 || st.Unicasts != 0 {
+		t.Fatalf("non-uniform stats = %+v, want 2 multicasts", st)
+	}
+	c.SetTrace(nil) // must not panic
+}
+
+func TestClusterPreCrashed(t *testing.T) {
+	got := 0
+	c := NewCluster(ClusterConfig{
+		Algorithm:  GM,
+		N:          3,
+		PreCrashed: []int{2},
+		OnDeliver:  func(d Delivery) { got++ },
+	})
+	c.Broadcast(0, "y")
+	c.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("deliveries = %d, want 2 (survivors only)", got)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N=0 did not panic")
+		}
+	}()
+	NewCluster(ClusterConfig{N: 0})
+}
+
+func TestHelpers(t *testing.T) {
+	if Milliseconds(1.5) != 1500*time.Microsecond {
+		t.Fatal("Milliseconds conversion wrong")
+	}
+	q := Detectors(10, 100, 5)
+	if q.TD != 10*time.Millisecond || q.TMR != 100*time.Millisecond || q.TM != 5*time.Millisecond {
+		t.Fatalf("Detectors = %+v", q)
+	}
+	if Perfect() != (QoS{}) {
+		t.Fatal("Perfect() not zero QoS")
+	}
+}
+
+func TestClusterWithHeartbeatDetector(t *testing.T) {
+	delivered := make(map[int]int)
+	c := NewCluster(ClusterConfig{
+		Algorithm: FD,
+		N:         3,
+		Heartbeat: &HeartbeatConfig{Interval: 5 * time.Millisecond, Timeout: 25 * time.Millisecond},
+		OnDeliver: func(d Delivery) { delivered[d.Process]++ },
+	})
+	c.Broadcast(0, "x")
+	c.CrashAt(0, 20*time.Millisecond)
+	c.BroadcastAt(1, 30*time.Millisecond, "y")
+	c.Run(3 * time.Second)
+	// Survivors must deliver both messages; detection runs on heartbeats.
+	if delivered[1] != 2 || delivered[2] != 2 {
+		t.Fatalf("deliveries = %v, want 2 at each survivor", delivered)
+	}
+	// Heartbeat traffic must be visible on the wire.
+	if c.Stats().Multicasts < 100 {
+		t.Fatalf("multicasts = %d, expected heartbeat traffic", c.Stats().Multicasts)
+	}
+}
+
+func TestClusterHeartbeatWithGM(t *testing.T) {
+	views := 0
+	c := NewCluster(ClusterConfig{
+		Algorithm: GM,
+		N:         3,
+		Heartbeat: &HeartbeatConfig{Interval: 5 * time.Millisecond, Timeout: 25 * time.Millisecond},
+		OnView:    func(ViewInfo) { views++ },
+	})
+	c.CrashAt(2, 50*time.Millisecond)
+	c.Run(2 * time.Second)
+	// Initial views (3 processes) plus the exclusion change (2 survivors).
+	if views < 5 {
+		t.Fatalf("view notifications = %d, want >= 5", views)
+	}
+}

@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGoldenFigure1Trace pins the exact wire-level sequence of a single
+// failure-free broadcast — the paper's Figure 1 — for all three
+// algorithms. Any change to the protocols' message pattern shows up here.
+func TestGoldenFigure1Trace(t *testing.T) {
+	capture := func(alg Algorithm) []string {
+		var lines []string
+		c := NewCluster(ClusterConfig{Algorithm: alg, N: 5})
+		c.SetTrace(func(ev NetEvent) {
+			if ev.Stage != "wire" {
+				return
+			}
+			to := "all"
+			if ev.To >= 0 {
+				to = fmt.Sprintf("p%d", ev.To)
+			}
+			name := ev.Payload
+			if i := strings.LastIndex(name, "."); i >= 0 {
+				name = name[i+1:]
+			}
+			if i := strings.Index(name, "["); i >= 0 {
+				name = name[:i]
+			}
+			lines = append(lines, fmt.Sprintf("%v %s p%d->%s",
+				int64(ev.At/time.Millisecond), name, ev.From, to))
+		})
+		c.Broadcast(0, "m")
+		c.RunUntilIdle()
+		return lines
+	}
+
+	golden := map[Algorithm][]string{
+		FD: {
+			"1 Msg p0->all",        // A-broadcast(m), reliable broadcast
+			"2 MsgPropose p0->all", // consensus proposal (round-1 fast path)
+			"5 MsgAck p1->p0",
+			"6 MsgAck p2->p0",
+			"7 MsgAck p3->p0",
+			"8 MsgAck p4->p0",
+			"10 MsgDecide p0->all",
+		},
+		GM: {
+			"1 MsgData p0->all",
+			"2 MsgSeqNum p0->all",
+			"5 MsgAck p1->p0",
+			"6 MsgAck p2->p0",
+			"7 MsgAck p3->p0",
+			"8 MsgAck p4->p0",
+			"10 MsgDeliver p0->all",
+		},
+		GMNonUniform: {
+			"1 MsgData p0->all",
+			"2 MsgSeqNum p0->all",
+		},
+	}
+	for alg, want := range golden {
+		got := capture(alg)
+		if len(got) != len(want) {
+			t.Fatalf("%v: trace = %v, want %v", alg, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: trace line %d = %q, want %q", alg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFigure1PatternsAligned verifies the §4.4 superposition directly:
+// line for line, FD and GM wire events differ only in the message name.
+func TestFigure1PatternsAligned(t *testing.T) {
+	shape := func(alg Algorithm) []string {
+		var lines []string
+		c := NewCluster(ClusterConfig{Algorithm: alg, N: 5})
+		c.SetTrace(func(ev NetEvent) {
+			if ev.Stage == "wire" {
+				lines = append(lines, fmt.Sprintf("%v %d %d", ev.At, ev.From, ev.To))
+			}
+		})
+		c.Broadcast(0, "m")
+		c.RunUntilIdle()
+		return lines
+	}
+	fd, gm := shape(FD), shape(GM)
+	if len(fd) != len(gm) {
+		t.Fatalf("pattern lengths differ: %d vs %d", len(fd), len(gm))
+	}
+	for i := range fd {
+		if fd[i] != gm[i] {
+			t.Fatalf("pattern line %d differs: %q vs %q", i, fd[i], gm[i])
+		}
+	}
+}
