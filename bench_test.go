@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -173,6 +174,45 @@ func BenchmarkAblationLambda(b *testing.B) {
 	for _, lambda := range []float64{0.5, 1, 2} {
 		b.Run(fmt.Sprintf("lambda=%.1f", lambda), func(b *testing.B) {
 			benchSteady(b, Config{Algorithm: FD, N: 3, Throughput: 100, Lambda: lambda})
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the experiment Runner's worker pool on
+// a fixed Fig. 4-shaped sweep (2 algorithms x 3 throughputs x 4
+// replications = 24 independent simulations): serial versus all-cores.
+// Results are bit-identical at any worker count, so ns/op is the only
+// thing that moves; the speedup is roughly min(workers, 24) on idle
+// hardware. BENCH_sweep.json records a measured data point.
+func BenchmarkSweepParallel(b *testing.B) {
+	sweep := Sweep{
+		Base: Config{
+			Algorithm:    FD,
+			N:            3,
+			Warmup:       500 * time.Millisecond,
+			Measure:      2 * time.Second,
+			Drain:        10 * time.Second,
+			Replications: 4,
+		},
+		Algorithms:  []Algorithm{FD, GM},
+		Throughputs: []float64{50, 200, 400},
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := &Runner{Workers: workers}
+			var last []Result
+			for i := 0; i < b.N; i++ {
+				last = r.Sweep(sweep)
+			}
+			msgs := 0
+			for _, res := range last {
+				msgs += res.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs")
 		})
 	}
 }

@@ -34,6 +34,7 @@ var (
 	warmupFlag    = flag.Duration("warmup", 2*time.Second, "virtual warmup before measuring")
 	measureFlag   = flag.Duration("measure", 10*time.Second, "virtual measurement window")
 	repsFlag      = flag.Int("reps", 5, "replications")
+	workersFlag   = flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = serial)")
 )
 
 func algorithm(name string) repro.Algorithm {
@@ -67,14 +68,15 @@ func main() {
 	for k := 0; k < *crashedFlag; k++ {
 		cfg.Crashed = append(cfg.Crashed, repro.ProcessID(*nFlag-1-k))
 	}
+	runner := &repro.Runner{Workers: *workersFlag}
 
 	if *transientFlag {
 		tc := repro.TransientConfig{Config: cfg, Crash: 0, Sender: 1}
 		var res repro.TransientResult
 		if *sweepFlag {
-			res = repro.WorstCaseTransient(tc, false)
+			res = runner.WorstCaseTransient(tc, false)
 		} else {
-			res = repro.RunTransient(tc)
+			res = runner.Transient(tc)
 		}
 		fmt.Printf("crash-transient: alg=%v n=%d T=%.0f/s TD=%.0fms crash=p%d sender=p%d\n",
 			cfg.Algorithm, cfg.N, cfg.Throughput, *tdFlag, res.Config.Crash, res.Config.Sender)
@@ -86,7 +88,7 @@ func main() {
 		return
 	}
 
-	res := repro.RunSteady(cfg)
+	res := runner.Steady(cfg)
 	scenario := "normal-steady"
 	if len(cfg.Crashed) > 0 {
 		scenario = "crash-steady"

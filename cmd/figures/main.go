@@ -21,20 +21,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"repro"
 )
 
 var (
-	figFlag   = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, ablations or all")
-	quickFlag = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
-	seedFlag  = flag.Uint64("seed", 1, "base random seed")
-	repsFlag  = flag.Int("reps", 0, "replications per point (0 = scenario default)")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, ablations or all")
+	quickFlag   = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
+	seedFlag    = flag.Uint64("seed", 1, "base random seed")
+	repsFlag    = flag.Int("reps", 0, "replications per point (0 = scenario default)")
+	workersFlag = flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = serial)")
+	progFlag    = flag.Bool("progress", false, "report replication progress on stderr")
 )
+
+// runner fans every figure's (point, replication) grid out over a worker
+// pool; results are bit-identical at any worker count.
+var runner *repro.Runner
 
 func main() {
 	flag.Parse()
+	runner = &repro.Runner{Workers: *workersFlag}
+	if *progFlag {
+		// Progress may fire concurrently and out of order from worker
+		// goroutines: serialise and drop regressions so a stale count
+		// never prints over the final one.
+		var mu sync.Mutex
+		best := 0
+		runner.Progress = func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done < best {
+				return
+			}
+			best = done
+			fmt.Fprintf(os.Stderr, "\r%d/%d replications", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+				best = 0 // next batch counts from zero again
+			}
+		}
+	}
 	switch *figFlag {
 	case "1":
 		fig1()
@@ -123,7 +151,7 @@ func fig1() {
 				cfg := steadyCfg(alg, n, thr)
 				cfg.Measure = 3 * time.Second
 				cfg.Replications = 1
-				res := repro.RunSteady(cfg)
+				res := runner.Steady(cfg)
 				lats[alg] = res.PerMessage.Mean
 				// Wire counts come from a dedicated cluster run with the
 				// same arrivals.
@@ -149,10 +177,14 @@ func fig4() {
 	for _, n := range []int{3, 7} {
 		fmt.Printf("# Figure 4: latency vs throughput, normal-steady, n=%d\n", n)
 		fmt.Println("# throughput(1/s)\tFD_lat(ms)\tFD_ci\tGM_lat(ms)\tGM_ci")
-		for _, thr := range throughputs() {
-			fd := repro.RunSteady(steadyCfg(repro.FD, n, thr))
-			gm := repro.RunSteady(steadyCfg(repro.GM, n, thr))
-			fmt.Printf("%.0f\t%s\t%s\n", thr, cell(fd), cell(gm))
+		thrs := throughputs()
+		var cfgs []repro.Config
+		for _, thr := range thrs {
+			cfgs = append(cfgs, steadyCfg(repro.FD, n, thr), steadyCfg(repro.GM, n, thr))
+		}
+		res := runner.SteadyAll(cfgs)
+		for i, thr := range thrs {
+			fmt.Printf("%.0f\t%s\t%s\n", thr, cell(res[2*i]), cell(res[2*i+1]))
 		}
 		fmt.Println()
 	}
@@ -173,8 +205,9 @@ func fig5() {
 			header += fmt.Sprintf("\tFD_%dcr\tci\tGM_%dcr\tci", c, c)
 		}
 		fmt.Println(header)
-		for _, thr := range throughputs() {
-			row := fmt.Sprintf("%.0f", thr)
+		thrs := throughputs()
+		var cfgs []repro.Config
+		for _, thr := range thrs {
 			for _, crashes := range panel.crashes {
 				fdCfg := steadyCfg(repro.FD, panel.n, thr)
 				gmCfg := steadyCfg(repro.GM, panel.n, thr)
@@ -184,7 +217,16 @@ func fig5() {
 					fdCfg.Crashed = append(fdCfg.Crashed, pid(panel.n-1-k))
 					gmCfg.Crashed = append(gmCfg.Crashed, pid(panel.n-1-k))
 				}
-				row += "\t" + cell(repro.RunSteady(fdCfg)) + "\t" + cell(repro.RunSteady(gmCfg))
+				cfgs = append(cfgs, fdCfg, gmCfg)
+			}
+		}
+		res := runner.SteadyAll(cfgs)
+		i := 0
+		for _, thr := range thrs {
+			row := fmt.Sprintf("%.0f", thr)
+			for range panel.crashes {
+				row += "\t" + cell(res[i]) + "\t" + cell(res[i+1])
+				i += 2
 			}
 			fmt.Println(row)
 		}
@@ -207,14 +249,17 @@ func fig6() {
 		fmt.Printf("# Figure 6: latency vs TMR, suspicion-steady, TM=0, n=%d, throughput=%.0f/s\n",
 			panel.n, panel.thr)
 		fmt.Println("# TMR(ms)\tFD_lat(ms)\tFD_ci\tGM_lat(ms)\tGM_ci")
+		var qos []repro.QoS
 		for _, tmr := range tmrs {
-			qos := repro.Detectors(0, tmr, 0)
-			fdCfg := steadyCfg(repro.FD, panel.n, panel.thr)
-			fdCfg.QoS = qos
-			gmCfg := steadyCfg(repro.GM, panel.n, panel.thr)
-			gmCfg.QoS = qos
-			fmt.Printf("%.0f\t%s\t%s\n", tmr,
-				cell(repro.RunSteady(fdCfg)), cell(repro.RunSteady(gmCfg)))
+			qos = append(qos, repro.Detectors(0, tmr, 0))
+		}
+		res := runner.Sweep(repro.Sweep{
+			Base:       steadyCfg(repro.FD, panel.n, panel.thr),
+			Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+			QoS:        qos,
+		})
+		for i, tmr := range tmrs {
+			fmt.Printf("%.0f\t%s\t%s\n", tmr, cell(res[i]), cell(res[len(tmrs)+i]))
 		}
 		fmt.Println()
 	}
@@ -236,14 +281,17 @@ func fig7() {
 		fmt.Printf("# Figure 7: latency vs TM, suspicion-steady, n=%d, throughput=%.0f/s, TMR=%.0fms\n",
 			panel.n, panel.thr, panel.tmr)
 		fmt.Println("# TM(ms)\tFD_lat(ms)\tFD_ci\tGM_lat(ms)\tGM_ci")
+		var qos []repro.QoS
 		for _, tm := range tms {
-			qos := repro.Detectors(0, panel.tmr, tm)
-			fdCfg := steadyCfg(repro.FD, panel.n, panel.thr)
-			fdCfg.QoS = qos
-			gmCfg := steadyCfg(repro.GM, panel.n, panel.thr)
-			gmCfg.QoS = qos
-			fmt.Printf("%.0f\t%s\t%s\n", tm,
-				cell(repro.RunSteady(fdCfg)), cell(repro.RunSteady(gmCfg)))
+			qos = append(qos, repro.Detectors(0, panel.tmr, tm))
+		}
+		res := runner.Sweep(repro.Sweep{
+			Base:       steadyCfg(repro.FD, panel.n, panel.thr),
+			Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+			QoS:        qos,
+		})
+		for i, tm := range tms {
+			fmt.Printf("%.0f\t%s\t%s\n", tm, cell(res[i]), cell(res[len(tms)+i]))
 		}
 		fmt.Println()
 	}
@@ -267,11 +315,11 @@ func fig8() {
 			header += fmt.Sprintf("\tFD_TD%.0f\tci\tGM_TD%.0f\tci", td, td)
 		}
 		fmt.Println(header)
+		var cfgs []repro.TransientConfig
 		for _, thr := range thrs {
-			row := fmt.Sprintf("%.0f", thr)
 			for _, td := range tds {
 				for _, alg := range []repro.Algorithm{repro.FD, repro.GM} {
-					cfg := repro.TransientConfig{
+					cfgs = append(cfgs, repro.TransientConfig{
 						Config: repro.Config{
 							Algorithm:    alg,
 							N:            n,
@@ -283,14 +331,32 @@ func fig8() {
 							Replications: reps,
 						},
 						Crash: 0,
-					}
-					var res repro.TransientResult
-					if *quickFlag {
-						cfg.Sender = 1
-						res = repro.RunTransient(cfg)
-					} else {
-						res = repro.WorstCaseTransient(cfg, false)
-					}
+					})
+				}
+			}
+		}
+		var results []repro.TransientResult
+		if *quickFlag {
+			// Quick mode measures the single pair (p0, p1): batch the
+			// whole panel's grid through the pool.
+			for i := range cfgs {
+				cfgs[i].Sender = 1
+			}
+			results = runner.TransientAll(cfgs)
+		} else {
+			// Full mode worst-cases each point over senders; each call
+			// already fans its sender x replication grid out.
+			for _, cfg := range cfgs {
+				results = append(results, runner.WorstCaseTransient(cfg, false))
+			}
+		}
+		i := 0
+		for _, thr := range thrs {
+			row := fmt.Sprintf("%.0f", thr)
+			for range tds {
+				for range []repro.Algorithm{repro.FD, repro.GM} {
+					res := results[i]
+					i++
 					if res.Overhead.N == 0 {
 						row += "\tlost\tlost"
 					} else {
@@ -309,24 +375,33 @@ func ablations() {
 	// crash-steady with the round-1 coordinator long dead.
 	fmt.Println("# Ablation A: FD coordinator renumbering, crash-steady with p0 crashed, n=3")
 	fmt.Println("# throughput(1/s)\trenumber_on(ms)\tci\trenumber_off(ms)\tci")
-	for _, thr := range []float64{10, 100, 300, 500} {
+	thrsA := []float64{10, 100, 300, 500}
+	var cfgsA []repro.Config
+	for _, thr := range thrsA {
 		onCfg := steadyCfg(repro.FD, 3, thr)
 		onCfg.Crashed = []repro.ProcessID{0}
 		offCfg := steadyCfg(repro.FD, 3, thr)
 		offCfg.Crashed = []repro.ProcessID{0}
 		offCfg.DisableRenumber = true
-		fmt.Printf("%.0f\t%s\t%s\n", thr,
-			cell(repro.RunSteady(onCfg)), cell(repro.RunSteady(offCfg)))
+		cfgsA = append(cfgsA, onCfg, offCfg)
+	}
+	resA := runner.SteadyAll(cfgsA)
+	for i, thr := range thrsA {
+		fmt.Printf("%.0f\t%s\t%s\n", thr, cell(resA[2*i]), cell(resA[2*i+1]))
 	}
 	fmt.Println()
 
 	// Ablation B: the §8 non-uniform sequencer variant.
 	fmt.Println("# Ablation B: GM uniform vs non-uniform (§8), normal-steady, n=3")
 	fmt.Println("# throughput(1/s)\tuniform(ms)\tci\tnonuniform(ms)\tci")
-	for _, thr := range []float64{10, 100, 300, 500, 700} {
-		uni := repro.RunSteady(steadyCfg(repro.GM, 3, thr))
-		non := repro.RunSteady(steadyCfg(repro.GMNonUniform, 3, thr))
-		fmt.Printf("%.0f\t%s\t%s\n", thr, cell(uni), cell(non))
+	thrsB := []float64{10, 100, 300, 500, 700}
+	var cfgsB []repro.Config
+	for _, thr := range thrsB {
+		cfgsB = append(cfgsB, steadyCfg(repro.GM, 3, thr), steadyCfg(repro.GMNonUniform, 3, thr))
+	}
+	resB := runner.SteadyAll(cfgsB)
+	for i, thr := range thrsB {
+		fmt.Printf("%.0f\t%s\t%s\n", thr, cell(resB[2*i]), cell(resB[2*i+1]))
 	}
 	fmt.Println()
 
@@ -334,10 +409,16 @@ func ablations() {
 	// paper presents λ=1; the extended TR sweeps it.
 	fmt.Println("# Ablation C: lambda sweep, normal-steady, n=3, throughput=100/s")
 	fmt.Println("# lambda\tFD_lat(ms)\tci")
-	for _, lambda := range []float64{0.5, 1, 2, 4} {
+	lambdas := []float64{0.5, 1, 2, 4}
+	var cfgsC []repro.Config
+	for _, lambda := range lambdas {
 		cfg := steadyCfg(repro.FD, 3, 100)
 		cfg.Lambda = lambda
-		fmt.Printf("%.1f\t%s\n", lambda, cell(repro.RunSteady(cfg)))
+		cfgsC = append(cfgsC, cfg)
+	}
+	resC := runner.SteadyAll(cfgsC)
+	for i, lambda := range lambdas {
+		fmt.Printf("%.1f\t%s\n", lambda, cell(resC[i]))
 	}
 	fmt.Println()
 }

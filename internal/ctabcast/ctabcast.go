@@ -22,6 +22,7 @@ package ctabcast
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/consensus"
@@ -146,8 +147,16 @@ func (p *Process) OnMessage(from proto.PID, payload any) {
 // broadcast relay and every live consensus instance.
 func (p *Process) OnSuspect(q proto.PID) {
 	p.rb.OnSuspect(q)
-	for _, inst := range p.instances {
-		inst.OnSuspect(q)
+	// Notify instances in ascending order: a suspicion can make an
+	// instance send (round change), and send order must not depend on map
+	// iteration order or simulations become nondeterministic.
+	ks := make([]uint64, 0, len(p.instances))
+	for k := range p.instances {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	for _, k := range ks {
+		p.instances[k].OnSuspect(q)
 	}
 }
 

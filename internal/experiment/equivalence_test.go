@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/seqabcast"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // runSchedule executes one algorithm against an explicit broadcast
@@ -89,4 +92,81 @@ func TestMessagePatternEquivalenceProperty(t *testing.T) {
 				seed, fdCounters, gmCounters)
 		}
 	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the Runner's central contract:
+// the same Sweep at 1 worker and at many workers produces bit-identical
+// Results, because every replication is an independent deterministic
+// simulation and aggregation merges them in canonical (point,
+// replication) order regardless of completion order.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	sweep := Sweep{
+		Base: Config{
+			Algorithm:    FD,
+			N:            3,
+			Seed:         11,
+			Warmup:       300 * time.Millisecond,
+			Measure:      2 * time.Second,
+			Drain:        8 * time.Second,
+			Replications: 3,
+		},
+		Algorithms:  []Algorithm{FD, GM},
+		Throughputs: []float64{20, 200},
+		QoS:         []fd.QoS{{}, {TMR: 500 * time.Millisecond}},
+	}
+	serial := (&Runner{Workers: 1}).Sweep(sweep)
+	workerCounts := []int{runtime.GOMAXPROCS(0), 4, 7}
+	for _, w := range workerCounts {
+		parallel := (&Runner{Workers: w}).Sweep(sweep)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if !resultsBitIdentical(serial[i], parallel[i]) {
+				t.Fatalf("workers=%d: point %d differs from the serial run:\nserial:   %+v\nparallel: %+v",
+					w, i, serial[i], parallel[i])
+			}
+		}
+	}
+	// The grid must have the canonical point order and complete coverage.
+	checkSweepCoverage(t, sweep, serial)
+}
+
+func checkSweepCoverage(t *testing.T, sweep Sweep, serial []Result) {
+	t.Helper()
+	pts := sweep.Points()
+	if len(pts) != 8 || len(serial) != 8 {
+		t.Fatalf("expected 2x2x2 = 8 points, got %d points and %d results", len(pts), len(serial))
+	}
+	for i, res := range serial {
+		if res.Config.Algorithm != pts[i].Algorithm ||
+			res.Config.Throughput != pts[i].Throughput ||
+			res.Config.QoS != pts[i].QoS {
+			t.Fatalf("result %d out of canonical order: got %+v, want axes of %+v", i, res.Config, pts[i])
+		}
+		if res.Messages == 0 {
+			t.Fatalf("point %d measured nothing: %+v", i, res)
+		}
+	}
+}
+
+// resultsBitIdentical compares two Results field by field, with floats
+// compared by bit pattern so NaNs (empty-sample statistics) compare equal
+// to themselves.
+func resultsBitIdentical(a, b Result) bool {
+	return summariesBitIdentical(a.Latency, b.Latency) &&
+		summariesBitIdentical(a.PerMessage, b.PerMessage) &&
+		a.Messages == b.Messages &&
+		a.Undelivered == b.Undelivered &&
+		a.Stable == b.Stable &&
+		a.Diverged == b.Diverged
+}
+
+func summariesBitIdentical(a, b stats.Summary) bool {
+	return a.N == b.N &&
+		math.Float64bits(a.Mean) == math.Float64bits(b.Mean) &&
+		math.Float64bits(a.StdDev) == math.Float64bits(b.StdDev) &&
+		math.Float64bits(a.CI95) == math.Float64bits(b.CI95) &&
+		math.Float64bits(a.Min) == math.Float64bits(b.Min) &&
+		math.Float64bits(a.Max) == math.Float64bits(b.Max)
 }

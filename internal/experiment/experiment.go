@@ -33,7 +33,6 @@ import (
 	"repro/internal/seqabcast"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Algorithm selects which atomic broadcast runs.
@@ -179,7 +178,24 @@ type cluster struct {
 	bcast []func(body any) proto.MsgID
 	// onDeliver is invoked for every A-delivery at every process.
 	onDeliver func(p proto.PID, id proto.MsgID)
+	// broadcasts and deliveredAt0 are the backlog accounting used for
+	// divergence detection: every broadcast issued through broadcast()
+	// versus deliveries observed at process 0 (always alive in steady
+	// scenarios: crash-steady crashes the highest PIDs).
+	broadcasts   int
+	deliveredAt0 int
 }
+
+// broadcast A-broadcasts body from sender and maintains the backlog
+// accounting. Scenarios must broadcast through it rather than calling
+// bcast directly.
+func (c *cluster) broadcast(sender int, body any) proto.MsgID {
+	c.broadcasts++
+	return c.bcast[sender](body)
+}
+
+// backlog returns the number of broadcasts not yet delivered at p0.
+func (c *cluster) backlog() int { return c.broadcasts - c.deliveredAt0 }
 
 // newCluster builds engine + network + detectors + algorithm stack.
 func newCluster(cfg Config, seed uint64) *cluster {
@@ -207,6 +223,9 @@ func newCluster(cfg Config, seed uint64) *cluster {
 	for p := 0; p < cfg.N; p++ {
 		pid := proto.PID(p)
 		deliver := func(id proto.MsgID, body any) {
+			if pid == 0 {
+				c.deliveredAt0++
+			}
 			if c.onDeliver != nil {
 				c.onDeliver(pid, id)
 			}
@@ -259,114 +278,12 @@ func repSeed(base uint64, rep int) uint64 {
 
 // RunSteady executes a steady-state experiment (normal-steady,
 // crash-steady or suspicion-steady, depending on Config.Crashed and
-// Config.QoS).
+// Config.QoS). It is a thin wrapper over a zero-value Runner, so
+// replications run in parallel on GOMAXPROCS workers; the result is
+// bit-identical to a serial run.
 func RunSteady(cfg Config) Result {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		panic(err)
-	}
-	var repMeans stats.Sample
-	var pooled stats.Sample
-	messages, undelivered := 0, 0
-
-	diverged := false
-	for rep := 0; rep < cfg.Replications; rep++ {
-		c := newCluster(cfg, repSeed(cfg.Seed, rep))
-		start := sim.Time(0).Add(cfg.Warmup)
-		end := start.Add(cfg.Measure)
-
-		sent := make(map[proto.MsgID]sim.Time)
-		first := make(map[proto.MsgID]sim.Time)
-		// Backlog accounting for divergence detection: every broadcast
-		// versus first-deliveries observed at process 0 (always alive in
-		// steady scenarios: crash-steady crashes the highest PIDs).
-		broadcasts, deliveredAt0 := 0, 0
-		c.onDeliver = func(p proto.PID, id proto.MsgID) {
-			if p == 0 {
-				deliveredAt0++
-			}
-			if _, tracked := sent[id]; tracked {
-				if _, seen := first[id]; !seen {
-					first[id] = c.eng.Now()
-				}
-			}
-		}
-		workload.Spread(c.eng, sim.NewRand(repSeed(cfg.Seed, rep)).Fork("load"),
-			cfg.Throughput, cfg.N, liveSenders(cfg), func(s int) {
-				id := c.bcast[s](nil)
-				broadcasts++
-				now := c.eng.Now()
-				if now >= start && now < end {
-					sent[id] = now
-				}
-			})
-
-		// Run in slices so a diverging system (backlog beyond any
-		// legitimate transient) is cut short instead of simulated in
-		// quadratic agony.
-		repDiverged := false
-		for c.eng.Now() < end {
-			step := c.eng.Now().Add(500 * time.Millisecond)
-			if step > end {
-				step = end
-			}
-			c.eng.RunUntil(step)
-			if broadcasts-deliveredAt0 > DivergenceBacklog {
-				repDiverged = true
-				break
-			}
-		}
-		// Drain in slices so the run can stop early once every tracked
-		// message landed.
-		deadline := end.Add(cfg.Drain)
-		for !repDiverged && c.eng.Now() < deadline && len(first) < len(sent) {
-			step := c.eng.Now().Add(100 * time.Millisecond)
-			if step > deadline {
-				step = deadline
-			}
-			c.eng.RunUntil(step)
-			if broadcasts-deliveredAt0 > DivergenceBacklog {
-				repDiverged = true
-			}
-		}
-		if repDiverged {
-			diverged = true
-		}
-
-		// Accumulate in canonical ID order: floating-point summation is
-		// order-sensitive, and map iteration would make results differ
-		// across runs (and between the two algorithms) in the last bits.
-		ids := make([]proto.MsgID, 0, len(sent))
-		for id := range sent {
-			ids = append(ids, id)
-		}
-		proto.SortMsgIDs(ids)
-		var repSample stats.Sample
-		for _, id := range ids {
-			t1, ok := first[id]
-			if !ok {
-				undelivered++
-				continue
-			}
-			l := t1.Sub(sent[id]).Seconds() * 1000 // milliseconds
-			repSample.Add(l)
-			pooled.Add(l)
-		}
-		messages += repSample.N()
-		if repSample.N() > 0 {
-			repMeans.Add(repSample.Mean())
-		}
-	}
-
-	return Result{
-		Config:      cfg,
-		Latency:     repMeans.Summarize(),
-		PerMessage:  pooled.Summarize(),
-		Messages:    messages,
-		Undelivered: undelivered,
-		Stable:      undelivered == 0 && messages > 0 && !diverged,
-		Diverged:    diverged,
-	}
+	var r Runner
+	return r.Steady(cfg)
 }
 
 // TransientConfig extends Config for the crash-transient scenario.
@@ -394,98 +311,19 @@ type TransientResult struct {
 
 // RunTransient measures L(p, q): the latency of a message A-broadcast by
 // Sender at the exact instant Crash crashes, after the system reached a
-// steady state under background load.
+// steady state under background load. It is a thin wrapper over a
+// zero-value Runner.
 func RunTransient(cfg TransientConfig) TransientResult {
-	cfg.Config = cfg.Config.withDefaults()
-	if err := cfg.Config.validate(); err != nil {
-		panic(err)
-	}
-	if cfg.Crash == cfg.Sender {
-		panic("experiment: crash-transient sender must differ from the crashed process")
-	}
-	var lat, overhead stats.Sample
-	lost := 0
-	tdMs := float64(cfg.QoS.TD) / float64(time.Millisecond)
-
-	for rep := 0; rep < cfg.Replications; rep++ {
-		c := newCluster(cfg.Config, repSeed(cfg.Seed, rep))
-		crashAt := sim.Time(0).Add(cfg.Warmup)
-
-		var probe proto.MsgID
-		var probeSent, probeDelivered sim.Time
-		delivered := false
-		c.onDeliver = func(p proto.PID, id proto.MsgID) {
-			if !delivered && id == probe && probeSent > 0 {
-				delivered = true
-				probeDelivered = c.eng.Now()
-			}
-		}
-		workload.Spread(c.eng, sim.NewRand(repSeed(cfg.Seed, rep)).Fork("load"),
-			cfg.Throughput, cfg.N, liveSenders(cfg.Config), func(s int) {
-				c.bcast[s](nil)
-			})
-		c.eng.Schedule(crashAt, func() {
-			c.sys.Crash(cfg.Crash)
-			probe = c.bcast[cfg.Sender]("probe")
-			probeSent = c.eng.Now()
-		})
-
-		deadline := crashAt.Add(cfg.Drain)
-		for c.eng.Now() < deadline && !delivered {
-			step := c.eng.Now().Add(50 * time.Millisecond)
-			if step > deadline {
-				step = deadline
-			}
-			c.eng.RunUntil(step)
-		}
-		if !delivered {
-			lost++
-			continue
-		}
-		l := probeDelivered.Sub(probeSent).Seconds() * 1000
-		lat.Add(l)
-		overhead.Add(l - tdMs)
-	}
-
-	return TransientResult{
-		Config:   cfg,
-		Latency:  lat.Summarize(),
-		Overhead: overhead.Summarize(),
-		Lost:     lost,
-	}
+	var r Runner
+	return r.Transient(cfg)
 }
 
 // WorstCaseTransient evaluates L(p, q) over every sender q for the given
 // crashed process and returns the maximum mean — the paper's
 // Lcrash = max L(p, q) restricted to the presented worst case p (the
-// coordinator/sequencer). Set sweepCrash to also maximise over p.
+// coordinator/sequencer). Set sweepCrash to also maximise over p. The
+// whole crash × sender grid runs through a zero-value Runner's pool.
 func WorstCaseTransient(cfg TransientConfig, sweepCrash bool) TransientResult {
-	crashes := []proto.PID{cfg.Crash}
-	if sweepCrash {
-		crashes = crashes[:0]
-		for p := 0; p < cfg.N; p++ {
-			crashes = append(crashes, proto.PID(p))
-		}
-	}
-	var worst TransientResult
-	have := false
-	for _, crash := range crashes {
-		for q := 0; q < cfg.N; q++ {
-			if proto.PID(q) == crash {
-				continue
-			}
-			point := cfg
-			point.Crash = crash
-			point.Sender = proto.PID(q)
-			res := RunTransient(point)
-			if res.Latency.N == 0 {
-				continue
-			}
-			if !have || res.Latency.Mean > worst.Latency.Mean {
-				worst = res
-				have = true
-			}
-		}
-	}
-	return worst
+	var r Runner
+	return r.WorstCaseTransient(cfg, sweepCrash)
 }

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/proto"
+)
+
+// fastTransient shrinks a crash-transient experiment to test-suite scale.
+func fastTransient(alg Algorithm) TransientConfig {
+	return TransientConfig{
+		Config: Config{
+			Algorithm:    alg,
+			N:            3,
+			Throughput:   20,
+			QoS:          fd.QoS{TD: 5 * time.Millisecond},
+			Warmup:       300 * time.Millisecond,
+			Drain:        5 * time.Second,
+			Replications: 2,
+		},
+		Crash: 0,
+	}
+}
+
+// TestWorstCaseTransientCoversFullGrid checks that the sweepCrash grid
+// really evaluates every (crash, sender) pair: the maximum it returns
+// must equal the maximum over explicitly enumerated pairs.
+func TestWorstCaseTransientCoversFullGrid(t *testing.T) {
+	cfg := fastTransient(FD)
+	cfg.Replications = 1
+	worst := WorstCaseTransient(cfg, true)
+	if worst.Latency.N == 0 {
+		t.Fatal("sweep found nothing")
+	}
+	best := math.Inf(-1)
+	var bestCfg TransientConfig
+	for p := 0; p < cfg.N; p++ {
+		for q := 0; q < cfg.N; q++ {
+			if p == q {
+				continue
+			}
+			point := cfg
+			point.Crash, point.Sender = proto.PID(p), proto.PID(q)
+			res := RunTransient(point)
+			if res.Latency.N > 0 && res.Latency.Mean > best {
+				best = res.Latency.Mean
+				bestCfg = point
+			}
+		}
+	}
+	if worst.Latency.Mean != best {
+		t.Fatalf("sweep max %v != enumerated max %v (at crash=p%d sender=p%d)",
+			worst.Latency.Mean, best, bestCfg.Crash, bestCfg.Sender)
+	}
+}
+
+// TestWorstCaseTransientAllProbesLost exercises the "no delivered probe
+// at any grid point" path: with a drain window too short for any
+// delivery, the sweep must return the zero result rather than a bogus
+// maximum.
+func TestWorstCaseTransientAllProbesLost(t *testing.T) {
+	cfg := fastTransient(FD)
+	cfg.Drain = time.Millisecond // no probe can be ordered this fast
+	cfg.Replications = 1
+	res := WorstCaseTransient(cfg, true)
+	if res.Latency.N != 0 {
+		t.Fatalf("expected no delivered probe, got %+v", res.Latency)
+	}
+	if res.Lost != 0 || res.Config.N != 0 {
+		t.Fatalf("all-lost sweep must return the zero TransientResult, got %+v", res)
+	}
+	// A single lost point (not a sweep) still reports its Lost count.
+	single := cfg
+	single.Sender = 1
+	direct := RunTransient(single)
+	if direct.Lost != 1 || direct.Latency.N != 0 {
+		t.Fatalf("lost probe not reported: %+v", direct)
+	}
+}
+
+// TestWorstCaseTransientParallelMatchesSerial pins the worst-case sweep
+// to the same bits at any worker count, including its canonical-order
+// tie-breaking.
+func TestWorstCaseTransientParallelMatchesSerial(t *testing.T) {
+	for _, alg := range []Algorithm{FD, GM} {
+		cfg := fastTransient(alg)
+		serial := (&Runner{Workers: 1}).WorstCaseTransient(cfg, true)
+		parallel := (&Runner{Workers: 6}).WorstCaseTransient(cfg, true)
+		if serial.Config.Crash != parallel.Config.Crash || serial.Config.Sender != parallel.Config.Sender {
+			t.Fatalf("%v: worst pair differs: serial (crash=p%d sender=p%d) vs parallel (crash=p%d sender=p%d)",
+				alg, serial.Config.Crash, serial.Config.Sender,
+				parallel.Config.Crash, parallel.Config.Sender)
+		}
+		if !summariesBitIdentical(serial.Latency, parallel.Latency) ||
+			!summariesBitIdentical(serial.Overhead, parallel.Overhead) ||
+			serial.Lost != parallel.Lost {
+			t.Fatalf("%v: results differ:\nserial:   %+v\nparallel: %+v", alg, serial, parallel)
+		}
+	}
+}
+
+func TestSweepPoints(t *testing.T) {
+	s := Sweep{
+		Base:        Config{Algorithm: FD, N: 3, Throughput: 10, Seed: 3},
+		Algorithms:  []Algorithm{FD, GM},
+		Ns:          []int{3, 7},
+		Throughputs: []float64{10, 100, 300},
+	}
+	pts := s.Points()
+	if len(pts) != 12 {
+		t.Fatalf("2x2x3 grid expanded to %d points", len(pts))
+	}
+	// Canonical order: Algorithm outermost, QoS innermost.
+	if pts[0].Algorithm != FD || pts[0].N != 3 || pts[0].Throughput != 10 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[11].Algorithm != GM || pts[11].N != 7 || pts[11].Throughput != 300 {
+		t.Fatalf("last point %+v", pts[11])
+	}
+	for _, p := range pts {
+		if p.Seed != 3 {
+			t.Fatalf("Base field not inherited: %+v", p)
+		}
+	}
+	// Unset axes inherit Base: the degenerate sweep is the single Base point.
+	single := Sweep{Base: Config{Algorithm: GM, N: 7, Throughput: 50}}.Points()
+	if len(single) != 1 || single[0].Algorithm != GM || single[0].N != 7 || single[0].Throughput != 50 {
+		t.Fatalf("degenerate sweep = %+v", single)
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	finals := 0
+	r := &Runner{Workers: 3, Progress: func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if total != 4 {
+			t.Errorf("total = %d, want 4", total)
+		}
+		if done == total {
+			finals++
+		}
+	}}
+	cfg := Config{
+		Algorithm:    FD,
+		N:            3,
+		Throughput:   20,
+		Warmup:       200 * time.Millisecond,
+		Measure:      time.Second,
+		Drain:        5 * time.Second,
+		Replications: 4,
+	}
+	res := r.Steady(cfg)
+	if !res.Stable {
+		t.Fatalf("unstable trivial run: %+v", res)
+	}
+	if calls != 4 || finals != 1 {
+		t.Fatalf("progress called %d times with %d completions, want 4 and 1", calls, finals)
+	}
+}
+
+// TestRunnerValidatesBeforeFanout keeps configuration panics on the
+// caller's goroutine: a bad point anywhere in a batch must panic before
+// any worker starts.
+func TestRunnerValidatesBeforeFanout(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid point in a batch did not panic")
+		}
+	}()
+	var r Runner
+	r.SteadyAll([]Config{
+		{Algorithm: FD, N: 3, Throughput: 10},
+		{Algorithm: FD, N: 0}, // invalid
+	})
+}

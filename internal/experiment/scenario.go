@@ -1,0 +1,266 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Delivery is one A-delivery observed by a scenario during a replication.
+type Delivery struct {
+	Process proto.PID
+	ID      proto.MsgID
+	At      sim.Time
+}
+
+// RepStats carries one replication's raw results back to the aggregator.
+// Latencies are accumulated in canonical message order inside the
+// replication, so merging replications in index order reproduces the
+// serial path bit for bit.
+type RepStats struct {
+	// Latencies holds the replication's measured latencies in
+	// milliseconds: one per delivered tracked message (steady scenarios)
+	// or at most one probe latency (crash-transient).
+	Latencies stats.Sample
+	// Undelivered counts awaited messages never delivered within the
+	// drain window.
+	Undelivered int
+	// Diverged is set by the engine when the replication was aborted on a
+	// backlog beyond DivergenceBacklog.
+	Diverged bool
+}
+
+// phases describes the temporal structure of one replication: a measure
+// phase up to measureEnd, then a drain phase of at most drain. The slice
+// durations set how often the engine pauses the simulation to check for
+// divergence (measure) and early completion (drain).
+type phases struct {
+	measureEnd   sim.Time
+	drain        time.Duration
+	measureSlice time.Duration
+	drainSlice   time.Duration
+	// divergence enables the DivergenceBacklog abort. Steady scenarios
+	// need it (offered load can exceed capacity indefinitely); the
+	// crash-transient scenario is bounded by its drain deadline.
+	divergence bool
+}
+
+// Scenario is the per-replication behaviour of one benchmark scenario.
+// The shared replication engine (runReplication) owns cluster
+// construction, the measure/drain slicing and the DivergenceBacklog
+// abort; a scenario only installs load and faults, observes deliveries,
+// signals completion and collects statistics.
+type Scenario interface {
+	// Phases reports the replication's time structure to the engine.
+	Phases() phases
+	// Setup installs the replication's workload and scheduled faults on a
+	// freshly built cluster, before any virtual time elapses.
+	Setup(c *cluster)
+	// Observe is invoked for every A-delivery at every process.
+	Observe(d Delivery)
+	// Done reports whether every awaited delivery has been observed, so
+	// the drain phase can stop early.
+	Done() bool
+	// Collect returns the replication's statistics after the run.
+	Collect() RepStats
+}
+
+// runReplication is the shared replication engine: it builds the cluster,
+// runs the measure phase in divergence-checked slices, then drains until
+// the scenario reports Done or the drain budget runs out. Each invocation
+// is an independent deterministic simulation keyed by (cfg.Seed, rep), so
+// replications can run on any goroutine in any order.
+func runReplication(cfg Config, rep int, s Scenario) RepStats {
+	c := newCluster(cfg, repSeed(cfg.Seed, rep))
+	c.onDeliver = func(p proto.PID, id proto.MsgID) {
+		s.Observe(Delivery{Process: p, ID: id, At: c.eng.Now()})
+	}
+	s.Setup(c)
+	ph := s.Phases()
+
+	// Measure phase. Run in slices so a diverging system (backlog beyond
+	// any legitimate transient) is cut short instead of simulated in
+	// quadratic agony.
+	diverged := false
+	if ph.divergence {
+		for c.eng.Now() < ph.measureEnd {
+			step := c.eng.Now().Add(ph.measureSlice)
+			if step > ph.measureEnd {
+				step = ph.measureEnd
+			}
+			c.eng.RunUntil(step)
+			if c.backlog() > DivergenceBacklog {
+				diverged = true
+				break
+			}
+		}
+	} else {
+		c.eng.RunUntil(ph.measureEnd)
+	}
+
+	// Drain phase, in slices so the run can stop early once every awaited
+	// delivery landed.
+	deadline := ph.measureEnd.Add(ph.drain)
+	for !diverged && c.eng.Now() < deadline && !s.Done() {
+		step := c.eng.Now().Add(ph.drainSlice)
+		if step > deadline {
+			step = deadline
+		}
+		c.eng.RunUntil(step)
+		if ph.divergence && c.backlog() > DivergenceBacklog {
+			diverged = true
+		}
+	}
+
+	rs := s.Collect()
+	rs.Diverged = diverged
+	return rs
+}
+
+// steadyScenario measures every message A-broadcast inside the measure
+// window. It covers normal-steady, crash-steady and suspicion-steady,
+// which differ only in Config (Crashed and QoS); the named constructors
+// below document that correspondence.
+type steadyScenario struct {
+	cfg        Config
+	rep        int
+	start, end sim.Time
+	sent       map[proto.MsgID]sim.Time
+	first      map[proto.MsgID]sim.Time
+}
+
+// newSteadyScenario builds the scenario for one replication of a steady
+// experiment; cfg must already have defaults applied.
+func newSteadyScenario(cfg Config, rep int) *steadyScenario {
+	start := sim.Time(0).Add(cfg.Warmup)
+	return &steadyScenario{
+		cfg:   cfg,
+		rep:   rep,
+		start: start,
+		end:   start.Add(cfg.Measure),
+		sent:  make(map[proto.MsgID]sim.Time),
+		first: make(map[proto.MsgID]sim.Time),
+	}
+}
+
+// NormalSteady is the no-crash, no-suspicion scenario (Fig. 4).
+func NormalSteady(cfg Config, rep int) Scenario { return newSteadyScenario(cfg, rep) }
+
+// CrashSteady is the scenario with processes crashed long before the
+// measurement (Fig. 5); cfg.Crashed selects them.
+func CrashSteady(cfg Config, rep int) Scenario { return newSteadyScenario(cfg, rep) }
+
+// SuspicionSteady is the scenario with wrong suspicions at QoS (TMR, TM)
+// but no crashes (Figs. 6, 7); cfg.QoS selects the mistake rate.
+func SuspicionSteady(cfg Config, rep int) Scenario { return newSteadyScenario(cfg, rep) }
+
+func (s *steadyScenario) Phases() phases {
+	return phases{
+		measureEnd:   s.end,
+		drain:        s.cfg.Drain,
+		measureSlice: 500 * time.Millisecond,
+		drainSlice:   100 * time.Millisecond,
+		divergence:   true,
+	}
+}
+
+func (s *steadyScenario) Setup(c *cluster) {
+	workload.Spread(c.eng, sim.NewRand(repSeed(s.cfg.Seed, s.rep)).Fork("load"),
+		s.cfg.Throughput, s.cfg.N, liveSenders(s.cfg), func(sender int) {
+			id := c.broadcast(sender, nil)
+			now := c.eng.Now()
+			if now >= s.start && now < s.end {
+				s.sent[id] = now
+			}
+		})
+}
+
+func (s *steadyScenario) Observe(d Delivery) {
+	if _, tracked := s.sent[d.ID]; tracked {
+		if _, seen := s.first[d.ID]; !seen {
+			s.first[d.ID] = d.At
+		}
+	}
+}
+
+func (s *steadyScenario) Done() bool { return len(s.first) >= len(s.sent) }
+
+func (s *steadyScenario) Collect() RepStats {
+	// Accumulate in canonical ID order: floating-point summation is
+	// order-sensitive, and map iteration would make results differ across
+	// runs (and between the two algorithms) in the last bits.
+	ids := make([]proto.MsgID, 0, len(s.sent))
+	for id := range s.sent {
+		ids = append(ids, id)
+	}
+	proto.SortMsgIDs(ids)
+	var rs RepStats
+	for _, id := range ids {
+		t1, ok := s.first[id]
+		if !ok {
+			rs.Undelivered++
+			continue
+		}
+		rs.Latencies.Add(t1.Sub(s.sent[id]).Seconds() * 1000) // milliseconds
+	}
+	return rs
+}
+
+// transientScenario measures the probe message A-broadcast at the exact
+// instant of a forced crash (Fig. 8): CrashTransient below.
+type transientScenario struct {
+	cfg                       TransientConfig
+	rep                       int
+	crashAt                   sim.Time
+	probe                     proto.MsgID
+	probeSent, probeDelivered sim.Time
+	delivered                 bool
+}
+
+// CrashTransient builds the crash-transient scenario for one replication;
+// cfg must already have defaults applied.
+func CrashTransient(cfg TransientConfig, rep int) Scenario {
+	return &transientScenario{cfg: cfg, rep: rep, crashAt: sim.Time(0).Add(cfg.Warmup)}
+}
+
+func (t *transientScenario) Phases() phases {
+	return phases{
+		measureEnd: t.crashAt,
+		drain:      t.cfg.Drain,
+		drainSlice: 50 * time.Millisecond,
+	}
+}
+
+func (t *transientScenario) Setup(c *cluster) {
+	workload.Spread(c.eng, sim.NewRand(repSeed(t.cfg.Seed, t.rep)).Fork("load"),
+		t.cfg.Throughput, t.cfg.N, liveSenders(t.cfg.Config), func(sender int) {
+			c.broadcast(sender, nil)
+		})
+	c.eng.Schedule(t.crashAt, func() {
+		c.sys.Crash(t.cfg.Crash)
+		t.probe = c.broadcast(int(t.cfg.Sender), "probe")
+		t.probeSent = c.eng.Now()
+	})
+}
+
+func (t *transientScenario) Observe(d Delivery) {
+	if !t.delivered && d.ID == t.probe && t.probeSent > 0 {
+		t.delivered = true
+		t.probeDelivered = d.At
+	}
+}
+
+func (t *transientScenario) Done() bool { return t.delivered }
+
+func (t *transientScenario) Collect() RepStats {
+	var rs RepStats
+	if !t.delivered {
+		rs.Undelivered = 1
+		return rs
+	}
+	rs.Latencies.Add(t.probeDelivered.Sub(t.probeSent).Seconds() * 1000)
+	return rs
+}

@@ -95,9 +95,18 @@ func (b *Broadcaster) OnMessage(m Msg) {
 // one-multicast cost; under suspicion storms each message costs this
 // process at most one extra multicast.
 func (b *Broadcaster) OnSuspect(p proto.PID) {
-	for id, m := range b.unstable[p] {
+	// Relay in canonical ID order: the multicast order decides how the
+	// contended network serialises the relays, so map iteration order
+	// here would make whole simulations nondeterministic.
+	set := b.unstable[p]
+	ids := make([]proto.MsgID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	proto.SortMsgIDs(ids)
+	for _, id := range ids {
 		if b.relayed.Add(id) {
-			b.cfg.Multicast(m)
+			b.cfg.Multicast(set[id])
 		}
 	}
 }

@@ -90,6 +90,33 @@ func WorstCaseTransient(cfg TransientConfig, sweepCrash bool) TransientResult {
 	return experiment.WorstCaseTransient(cfg, sweepCrash)
 }
 
+// Runner executes experiments, fanning independent replications out over
+// a bounded worker pool (Workers: 0 selects GOMAXPROCS, 1 is serial).
+// Results are merged in canonical (point, replication) order, so output
+// is bit-identical at any worker count. An optional Progress callback
+// reports completed replications.
+type Runner = experiment.Runner
+
+// Sweep describes a grid of steady-state experiment points over
+// Algorithm × N × Throughput × QoS; unset axes inherit the Base config.
+type Sweep = experiment.Sweep
+
+// RunSweep runs every point of the grid on GOMAXPROCS workers and
+// returns results in the grid's canonical point order. Use a Runner
+// directly to bound the worker count or observe progress.
+func RunSweep(s Sweep) []Result {
+	var r Runner
+	return r.Sweep(s)
+}
+
+// RunSteadyAll runs several steady-state points at once, fanning every
+// (point, replication) pair out over GOMAXPROCS workers. Results come
+// back in point order, identical to running each point serially.
+func RunSteadyAll(cfgs []Config) []Result {
+	var r Runner
+	return r.SteadyAll(cfgs)
+}
+
 // Milliseconds converts a float millisecond count into a time.Duration —
 // a convenience mirroring the paper's habit of quoting everything in ms.
 func Milliseconds(ms float64) time.Duration {
