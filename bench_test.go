@@ -217,9 +217,13 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkSimEngine measures the discrete-event kernel itself.
+// BenchmarkSimEngine measures the discrete-event kernel's closure form
+// (Schedule/After): the cancellable-handle API protocol timers use. Each
+// op still allocates its *Event handle; the closure-free form below does
+// not.
 func BenchmarkSimEngine(b *testing.B) {
 	eng := sim.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.After(time.Millisecond, func() {})
@@ -230,11 +234,39 @@ func BenchmarkSimEngine(b *testing.B) {
 	eng.Run()
 }
 
+// countingHandler is a minimal sim.MsgHandler for kernel benchmarks.
+type countingHandler struct{ n int }
+
+func (h *countingHandler) HandleMsg(op uint8, a, b int, payload any) { h.n++ }
+
+// BenchmarkSimEngineMsg measures the closure-free form (ScheduleMsg):
+// typed records recycled through the engine's free list, the form the
+// network model's per-message hot path runs on. Zero allocations once the
+// free list is warm.
+func BenchmarkSimEngineMsg(b *testing.B) {
+	eng := sim.New()
+	h := &countingHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AfterMsg(time.Millisecond, h, 0, i, i, nil)
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if h.n != b.N {
+		b.Fatalf("handled %d events, want %d", h.n, b.N)
+	}
+}
+
 // BenchmarkNetModelMulticast measures the contention model's message
-// pipeline: one multicast fan-out to 7 processes per iteration.
+// pipeline: one multicast fan-out to 7 processes per iteration. The one
+// remaining alloc/op is the benchmark boxing its int payload.
 func BenchmarkNetModelMulticast(b *testing.B) {
 	eng := sim.New()
 	nw := netmodel.New(eng, netmodel.DefaultConfig(8), func(int, int, any) {})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw.Multicast(i%8, i)
@@ -254,6 +286,7 @@ func BenchmarkClusterBroadcast(b *testing.B) {
 		N:         3,
 		OnDeliver: func(Delivery) { delivered++ },
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Broadcast(i%3, i)

@@ -180,7 +180,10 @@ func fig4() {
 		thrs := throughputs()
 		var cfgs []repro.Config
 		for _, thr := range thrs {
-			cfgs = append(cfgs, steadyCfg(repro.FD, n, thr), steadyCfg(repro.GM, n, thr))
+			cfgs = append(cfgs, repro.Sweep{
+				Base:       steadyCfg(repro.FD, n, thr),
+				Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+			}.Points()...)
 		}
 		res := runner.SteadyAll(cfgs)
 		for i, thr := range thrs {
@@ -206,27 +209,33 @@ func fig5() {
 		}
 		fmt.Println(header)
 		thrs := throughputs()
-		var cfgs []repro.Config
-		for _, thr := range thrs {
-			for _, crashes := range panel.crashes {
-				fdCfg := steadyCfg(repro.FD, panel.n, thr)
-				gmCfg := steadyCfg(repro.GM, panel.n, thr)
-				for k := 0; k < crashes; k++ {
-					// Crash the highest PIDs: non-coordinator processes,
-					// matching the paper's Fig. 5 presentation.
-					fdCfg.Crashed = append(fdCfg.Crashed, pid(panel.n-1-k))
-					gmCfg.Crashed = append(gmCfg.Crashed, pid(panel.n-1-k))
-				}
-				cfgs = append(cfgs, fdCfg, gmCfg)
+		// One crash-set per curve: crash the highest PIDs — non-coordinator
+		// processes, matching the paper's Fig. 5 presentation.
+		sets := make([][]repro.ProcessID, len(panel.crashes))
+		for i, crashes := range panel.crashes {
+			for k := 0; k < crashes; k++ {
+				sets[i] = append(sets[i], pid(panel.n-1-k))
 			}
 		}
-		res := runner.SteadyAll(cfgs)
-		i := 0
+		// Measure durations scale with throughput, so the grid is one
+		// Algorithm × CrashSet sweep per throughput, batched into a single
+		// pool run.
+		var cfgs []repro.Config
 		for _, thr := range thrs {
+			cfgs = append(cfgs, repro.Sweep{
+				Base:       steadyCfg(repro.FD, panel.n, thr),
+				Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+				CrashSets:  sets,
+			}.Points()...)
+		}
+		res := runner.SteadyAll(cfgs)
+		// Each throughput's block comes back in canonical sweep order:
+		// all FD crash-sets, then all GM crash-sets.
+		block := 2 * len(sets)
+		for ti, thr := range thrs {
 			row := fmt.Sprintf("%.0f", thr)
-			for range panel.crashes {
-				row += "\t" + cell(res[i]) + "\t" + cell(res[i+1])
-				i += 2
+			for ci := range sets {
+				row += "\t" + cell(res[ti*block+ci]) + "\t" + cell(res[ti*block+len(sets)+ci])
 			}
 			fmt.Println(row)
 		}
@@ -391,13 +400,17 @@ func ablations() {
 	}
 	fmt.Println()
 
-	// Ablation B: the §8 non-uniform sequencer variant.
+	// Ablation B: the §8 non-uniform sequencer variant — an Algorithms
+	// sweep per throughput (measure durations depend on the throughput).
 	fmt.Println("# Ablation B: GM uniform vs non-uniform (§8), normal-steady, n=3")
 	fmt.Println("# throughput(1/s)\tuniform(ms)\tci\tnonuniform(ms)\tci")
 	thrsB := []float64{10, 100, 300, 500, 700}
 	var cfgsB []repro.Config
 	for _, thr := range thrsB {
-		cfgsB = append(cfgsB, steadyCfg(repro.GM, 3, thr), steadyCfg(repro.GMNonUniform, 3, thr))
+		cfgsB = append(cfgsB, repro.Sweep{
+			Base:       steadyCfg(repro.GM, 3, thr),
+			Algorithms: []repro.Algorithm{repro.GM, repro.GMNonUniform},
+		}.Points()...)
 	}
 	resB := runner.SteadyAll(cfgsB)
 	for i, thr := range thrsB {
@@ -405,18 +418,15 @@ func ablations() {
 	}
 	fmt.Println()
 
-	// Ablation C: the λ parameter of the network model (§6.1). The DSN
-	// paper presents λ=1; the extended TR sweeps it.
+	// Ablation C: the λ parameter of the network model (§6.1) — a Lambdas
+	// sweep. The DSN paper presents λ=1; the extended TR sweeps it.
 	fmt.Println("# Ablation C: lambda sweep, normal-steady, n=3, throughput=100/s")
 	fmt.Println("# lambda\tFD_lat(ms)\tci")
 	lambdas := []float64{0.5, 1, 2, 4}
-	var cfgsC []repro.Config
-	for _, lambda := range lambdas {
-		cfg := steadyCfg(repro.FD, 3, 100)
-		cfg.Lambda = lambda
-		cfgsC = append(cfgsC, cfg)
-	}
-	resC := runner.SteadyAll(cfgsC)
+	resC := runner.Sweep(repro.Sweep{
+		Base:    steadyCfg(repro.FD, 3, 100),
+		Lambdas: lambdas,
+	})
 	for i, lambda := range lambdas {
 		fmt.Printf("%.1f\t%s\n", lambda, cell(resC[i]))
 	}

@@ -1,0 +1,196 @@
+package repro
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// The golden digests lock the exact event-by-event behaviour of the
+// simulation kernel: each value is an FNV-1a hash of the full network
+// trace and delivery trace of one fixed-seed scenario. They were recorded
+// before the pooled-event kernel refactor and must never change — any
+// perf work on internal/sim or internal/netmodel has to reproduce the
+// simulations bit for bit. If a digest changes, the kernel reordered,
+// dropped or retimed events; that is a correctness bug, not a baseline to
+// re-record.
+var goldenDigests = map[string]uint64{
+	"FD/n=3/crash+suspicions":    0x4d19b1ab88942220,
+	"GM/n=3/crash+suspicions":    0x70317ee7a75ddcc7,
+	"GM-nu/n=3/normal":           0xa4d74339a5f5a8ae,
+	"FD/n=7/precrash+suspicions": 0x090d2cc8134a61be,
+	"GM/n=7/precrash+suspicions": 0x3d7235f83b1428a1,
+	"FD/n=3/heartbeat-detector":  0x3802cc0e268ea258,
+	"FD/n=3/lambda=2/late-crash": 0x15550c11148ee48d,
+	"FD/n=2/minimal":             0xa530831d7d3fd72b,
+	"GM/n=5/cascade-crashes":     0xa312c893cf725274,
+}
+
+// goldenScenario drives one fully scripted cluster and folds every
+// observable event — message lifecycle points, deliveries, view changes
+// and final counters — into a single digest.
+type goldenScenario struct {
+	name string
+	cfg  ClusterConfig
+	// drive scripts broadcasts, crashes and suspicions before the run.
+	drive func(c *Cluster)
+	run   time.Duration
+}
+
+func goldenScenarios() []goldenScenario {
+	// Broadcast schedules use co-prime gaps so arrivals interleave with
+	// protocol traffic at awkward instants.
+	script := func(n int, msgs int) func(c *Cluster) {
+		return func(c *Cluster) {
+			for i := 0; i < msgs; i++ {
+				c.BroadcastAt(i%n, time.Duration(i)*7*time.Millisecond, i)
+			}
+		}
+	}
+	return []goldenScenario{
+		{
+			name: "FD/n=3/crash+suspicions",
+			cfg:  ClusterConfig{Algorithm: FD, N: 3, Seed: 41, QoS: Detectors(10, 0, 0)},
+			drive: func(c *Cluster) {
+				script(3, 40)(c)
+				c.SuspectAt(1, 0, 50*time.Millisecond, 30*time.Millisecond)
+				c.SuspectAt(2, 0, 95*time.Millisecond, 0)
+				c.CrashAt(2, 160*time.Millisecond)
+			},
+			run: 2 * time.Second,
+		},
+		{
+			name: "GM/n=3/crash+suspicions",
+			cfg:  ClusterConfig{Algorithm: GM, N: 3, Seed: 41, QoS: Detectors(10, 0, 0)},
+			drive: func(c *Cluster) {
+				script(3, 40)(c)
+				c.SuspectAt(1, 2, 50*time.Millisecond, 30*time.Millisecond)
+				c.CrashAt(2, 160*time.Millisecond)
+			},
+			run: 2 * time.Second,
+		},
+		{
+			name:  "GM-nu/n=3/normal",
+			cfg:   ClusterConfig{Algorithm: GMNonUniform, N: 3, Seed: 7},
+			drive: script(3, 30),
+			run:   time.Second,
+		},
+		{
+			name: "FD/n=7/precrash+suspicions",
+			cfg: ClusterConfig{
+				Algorithm: FD, N: 7, Seed: 13,
+				PreCrashed: []int{5, 6},
+				QoS:        Detectors(0, 400, 20),
+			},
+			drive: script(5, 35),
+			run:   2 * time.Second,
+		},
+		{
+			name: "GM/n=7/precrash+suspicions",
+			cfg: ClusterConfig{
+				Algorithm: GM, N: 7, Seed: 13,
+				PreCrashed: []int{5, 6},
+				QoS:        Detectors(0, 400, 20),
+			},
+			drive: script(5, 35),
+			run:   2 * time.Second,
+		},
+		{
+			name: "FD/n=3/heartbeat-detector",
+			cfg: ClusterConfig{
+				Algorithm: FD, N: 3, Seed: 23,
+				Heartbeat: &HeartbeatConfig{Interval: 10 * time.Millisecond, Timeout: 30 * time.Millisecond},
+			},
+			drive: func(c *Cluster) {
+				script(3, 25)(c)
+				c.CrashAt(0, 90*time.Millisecond)
+			},
+			run: time.Second,
+		},
+		{
+			name: "FD/n=3/lambda=2/late-crash",
+			cfg:  ClusterConfig{Algorithm: FD, N: 3, Seed: 3, Lambda: 2, QoS: Detectors(20, 0, 0)},
+			drive: func(c *Cluster) {
+				script(3, 30)(c)
+				c.CrashAt(1, 111*time.Millisecond)
+			},
+			run: 2 * time.Second,
+		},
+		{
+			// N=2 pins the one-destination multicast trace: the wire hop
+			// of a 2-process multicast records the concrete destination.
+			name: "FD/n=2/minimal",
+			cfg:  ClusterConfig{Algorithm: FD, N: 2, Seed: 5, QoS: Detectors(10, 0, 0)},
+			drive: func(c *Cluster) {
+				script(2, 20)(c)
+				c.SuspectAt(1, 0, 60*time.Millisecond, 10*time.Millisecond)
+			},
+			run: time.Second,
+		},
+		{
+			name: "GM/n=5/cascade-crashes",
+			cfg:  ClusterConfig{Algorithm: GM, N: 5, Seed: 99, QoS: Detectors(5, 0, 0)},
+			drive: func(c *Cluster) {
+				script(5, 45)(c)
+				c.CrashAt(4, 80*time.Millisecond)
+				c.CrashAt(3, 200*time.Millisecond)
+			},
+			run: 3 * time.Second,
+		},
+	}
+}
+
+// digestScenario runs one scenario and returns its trace digest.
+func digestScenario(sc goldenScenario) uint64 {
+	h := fnv.New64a()
+	line := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+		h.Write([]byte{'\n'})
+	}
+	cfg := sc.cfg
+	cfg.OnDeliver = func(d Delivery) {
+		line("D %d %d:%d %d", d.Process, d.ID.Origin, d.ID.Seq, d.At)
+	}
+	cfg.OnView = func(v ViewInfo) {
+		line("V %d %d %v %d", v.Process, v.ViewID, v.Members, v.At)
+	}
+	c := NewCluster(cfg)
+	c.SetTrace(func(ev NetEvent) {
+		line("N %s %d %d %s %d", ev.Stage, ev.From, ev.To, ev.Payload, ev.At)
+	})
+	sc.drive(c)
+	c.Run(sc.run)
+	st := c.Stats()
+	line("S %d %d %d %d", st.Unicasts, st.Multicasts, st.WireSlots, st.Deliveries)
+	return h.Sum64()
+}
+
+// TestGoldenTraceDigests asserts that fixed-seed simulations — FD and GM,
+// with crashes, pre-crashes and both scripted and stochastic suspicions —
+// reproduce their recorded full-trace digest bit for bit.
+func TestGoldenTraceDigests(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			want, ok := goldenDigests[sc.name]
+			if !ok {
+				t.Fatalf("no golden digest recorded for %q", sc.name)
+			}
+			got := digestScenario(sc)
+			if got != want {
+				t.Fatalf("trace digest = %#016x, want %#016x — the kernel no longer reproduces this simulation bit for bit", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDigestsStableAcrossRuns guards the digest harness itself:
+// running the same scenario twice in one process must agree, or the
+// digests prove nothing.
+func TestGoldenDigestsStableAcrossRuns(t *testing.T) {
+	sc := goldenScenarios()[0]
+	if a, b := digestScenario(sc), digestScenario(sc); a != b {
+		t.Fatalf("same scenario digested %#016x then %#016x in one process", a, b)
+	}
+}

@@ -202,6 +202,10 @@ func New(cfg Config, tr Transport) *Instance {
 	if base < 0 {
 		base = 0
 	}
+	// rounds and forwarded are created lazily: rounds only materialises at
+	// processes that actually coordinate a round, forwarded only on the
+	// post-decision catch-up path. In the failure-free fast path two of
+	// three processes never touch either.
 	inst := &Instance{
 		cfg:       cfg,
 		tr:        tr,
@@ -209,8 +213,6 @@ func New(cfg Config, tr Transport) *Instance {
 		majority:  len(cfg.Participants)/2 + 1,
 		round:     1,
 		phase:     phaseWaitPropose,
-		rounds:    make(map[int]*roundState),
-		forwarded: make(map[proto.PID]bool),
 	}
 	return inst
 }
@@ -238,10 +240,26 @@ func (in *Instance) Start(v Value) {
 	if in.decided || v == nil {
 		return
 	}
-	in.started = true
 	if in.estimate == nil {
 		in.estimate = v
 	}
+	in.Restart()
+}
+
+// HasEstimate reports whether the instance already holds a non-nil
+// initial value, in which case Start would ignore a new one.
+func (in *Instance) HasEstimate() bool { return in.estimate != nil }
+
+// Restart re-runs Start's round-1 fast path and suspicion check without
+// supplying a value. For an instance whose estimate is already set this is
+// exactly Start(v) for any non-nil v — Start keeps the first value — so
+// the embedding protocol can skip snapshotting a fresh proposal on every
+// delivery. Restart on an instance with no estimate is a no-op.
+func (in *Instance) Restart() {
+	if in.decided || in.estimate == nil {
+		return
+	}
+	in.started = true
 	// The initial value doubles as this process's round-1 estimate; if we
 	// coordinate round 1 we can propose it without a phase-1 exchange.
 	if in.Coordinator(1) == in.cfg.Self {
@@ -316,6 +334,9 @@ func (in *Instance) roundState(r int) *roundState {
 		rs = &roundState{
 			estimates: make(map[proto.PID]estCand),
 			acks:      make(map[proto.PID]bool),
+		}
+		if in.rounds == nil {
+			in.rounds = make(map[int]*roundState, 1)
 		}
 		in.rounds[r] = rs
 	}
@@ -539,6 +560,9 @@ func (in *Instance) Close() { in.closed = true }
 func (in *Instance) forwardDecision(to proto.PID) {
 	if to == in.cfg.Self || in.forwarded[to] {
 		return
+	}
+	if in.forwarded == nil {
+		in.forwarded = make(map[proto.PID]bool, 1)
 	}
 	in.forwarded[to] = true
 	in.tr.Send(to, MsgDecide{Val: in.decision, Proposer: in.proposer})

@@ -193,6 +193,12 @@ func (p *Process) maybePropose() {
 	if inst.Decided() {
 		return // drainDecisions will open the next instance
 	}
+	if inst.HasEstimate() {
+		// Start keeps the first value, so snapshotting a fresh proposal
+		// here would allocate only to be discarded.
+		inst.Restart()
+		return
+	}
 	inst.Start(p.proposal())
 }
 

@@ -195,19 +195,27 @@ func (r *Runner) WorstCaseTransient(cfg TransientConfig, sweepCrash bool) Transi
 }
 
 // Sweep describes a grid of steady-state experiment points over
-// Algorithm × N × Throughput × QoS. Base supplies every other field; a
-// nil axis inherits the Base value, so a Sweep with all axes nil is the
-// single point Base.
+// Algorithm × N × Throughput × QoS × Lambda × Crashed. Base supplies
+// every other field; a nil axis inherits the Base value, so a Sweep with
+// all axes nil is the single point Base.
 type Sweep struct {
 	Base        Config
 	Algorithms  []Algorithm
 	Ns          []int
 	Throughputs []float64
 	QoS         []fd.QoS
+	// Lambdas sweeps the network model's λ parameter (the §6.1 CPU/wire
+	// cost ratio; the extended TR's ablation). A zero entry selects λ = 1,
+	// as in Config.
+	Lambdas []float64
+	// CrashSets sweeps the crash-steady initial condition: each entry is
+	// one Config.Crashed list (Fig. 5 varies the number of crashed
+	// processes). A nil entry is the no-crash point.
+	CrashSets [][]proto.PID
 }
 
 // Points expands the grid in canonical order: Algorithm outermost, then
-// N, then Throughput, then QoS innermost.
+// N, then Throughput, then QoS, then Lambda, then CrashSet innermost.
 func (s Sweep) Points() []Config {
 	algs := s.Algorithms
 	if len(algs) == 0 {
@@ -225,14 +233,27 @@ func (s Sweep) Points() []Config {
 	if len(qos) == 0 {
 		qos = []fd.QoS{s.Base.QoS}
 	}
-	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos))
+	lambdas := s.Lambdas
+	if len(lambdas) == 0 {
+		lambdas = []float64{s.Base.Lambda}
+	}
+	crashes := s.CrashSets
+	if len(crashes) == 0 {
+		crashes = [][]proto.PID{s.Base.Crashed}
+	}
+	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes))
 	for _, a := range algs {
 		for _, n := range ns {
 			for _, t := range thrs {
 				for _, q := range qos {
-					cfg := s.Base
-					cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
-					out = append(out, cfg)
+					for _, l := range lambdas {
+						for _, cr := range crashes {
+							cfg := s.Base
+							cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
+							cfg.Lambda, cfg.Crashed = l, cr
+							out = append(out, cfg)
+						}
+					}
 				}
 			}
 		}

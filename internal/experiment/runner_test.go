@@ -133,6 +133,82 @@ func TestSweepPoints(t *testing.T) {
 	}
 }
 
+func TestSweepPointsLambdaAndCrashAxes(t *testing.T) {
+	s := Sweep{
+		Base:      Config{Algorithm: FD, N: 7, Throughput: 100, Seed: 9},
+		Lambdas:   []float64{0.5, 1, 2},
+		CrashSets: [][]proto.PID{nil, {6}, {6, 5}},
+	}
+	pts := s.Points()
+	if len(pts) != 9 {
+		t.Fatalf("3x3 grid expanded to %d points", len(pts))
+	}
+	// Canonical order: Lambda outside CrashSet, CrashSet innermost.
+	want := []struct {
+		lambda  float64
+		crashes int
+	}{
+		{0.5, 0}, {0.5, 1}, {0.5, 2},
+		{1, 0}, {1, 1}, {1, 2},
+		{2, 0}, {2, 1}, {2, 2},
+	}
+	for i, w := range want {
+		if pts[i].Lambda != w.lambda || len(pts[i].Crashed) != w.crashes {
+			t.Fatalf("point %d = lambda %v, crashed %v; want lambda %v, %d crashes",
+				i, pts[i].Lambda, pts[i].Crashed, w.lambda, w.crashes)
+		}
+	}
+	if pts[8].Crashed[0] != 6 || pts[8].Crashed[1] != 5 {
+		t.Fatalf("crash set not threaded through: %v", pts[8].Crashed)
+	}
+	// The new axes compose with the old ones, innermost last.
+	full := Sweep{
+		Base:        Config{Algorithm: FD, N: 3, Throughput: 10},
+		Algorithms:  []Algorithm{FD, GM},
+		Throughputs: []float64{10, 100},
+		Lambdas:     []float64{1, 2},
+		CrashSets:   [][]proto.PID{nil, {2}},
+	}.Points()
+	if len(full) != 16 {
+		t.Fatalf("2x2x2x2 grid expanded to %d points", len(full))
+	}
+	if full[1].Lambda != 1 || len(full[1].Crashed) != 1 {
+		t.Fatalf("CrashSet should vary fastest: point 1 = %+v", full[1])
+	}
+	if full[15].Algorithm != GM || full[15].Throughput != 100 || full[15].Lambda != 2 || len(full[15].Crashed) != 1 {
+		t.Fatalf("last point %+v", full[15])
+	}
+}
+
+// TestSweepCrashAxisRuns exercises the crash axis end to end: a crash-steady
+// sweep point must produce the same result as the equivalent hand-built
+// config list (the fig5 conversion relies on this).
+func TestSweepCrashAxisRuns(t *testing.T) {
+	base := Config{
+		Algorithm:    FD,
+		N:            3,
+		Throughput:   50,
+		Warmup:       200 * time.Millisecond,
+		Measure:      time.Second,
+		Drain:        5 * time.Second,
+		Replications: 2,
+	}
+	var r Runner
+	swept := r.Sweep(Sweep{Base: base, CrashSets: [][]proto.PID{nil, {2}}})
+
+	crashed := base
+	crashed.Crashed = []proto.PID{2}
+	hand := r.SteadyAll([]Config{base, crashed})
+	for i := range hand {
+		if swept[i].Latency != hand[i].Latency || swept[i].Messages != hand[i].Messages {
+			t.Fatalf("sweep point %d = %+v, hand-built = %+v", i, swept[i], hand[i])
+		}
+	}
+	if swept[0].Latency.Mean == swept[1].Latency.Mean && swept[0].Messages == swept[1].Messages {
+		t.Fatal("crash axis had no effect on the swept point")
+	}
+}
+
 func TestRunnerProgress(t *testing.T) {
 	var mu sync.Mutex
 	calls := 0

@@ -22,6 +22,13 @@
 // time t, no message passes between pᵢ and CPUᵢ after t — the process
 // neither sends nor receives — but messages already handed to CPUᵢ and its
 // queues are still transmitted.
+//
+// The three pipeline stages run on the engine's closure-free scheduling
+// form (sim.ScheduleMsg): each in-flight message hop is a pooled event
+// record carrying (stage, from, to, payload) and dispatching back into
+// HandleMsg, so simulating a message allocates nothing — no closures, no
+// per-multicast destination slice (those are precomputed per sender in
+// New), no per-hop event allocation once the engine's free list is warm.
 package netmodel
 
 import (
@@ -114,6 +121,16 @@ type Counters struct {
 	LocalSends uint64 // self-deliveries (no resource usage)
 }
 
+// Pipeline stage opcodes for the closure-free scheduler. The (a, b)
+// record fields hold (from, to); to is -1 on the multicast path, where
+// the fan-out destinations come from the precomputed dsts table.
+const (
+	opSenderCPUDone = iota // sender CPU released the message: reserve the wire
+	opWireDone             // wire slot over: fan out into destination CPUs
+	opRecvCPUDone          // destination CPU done: deliver or drop
+	opLocalDeliver         // zero-cost self-delivery
+)
+
 // Network simulates the transmission model on top of a sim.Engine.
 type Network struct {
 	eng     *sim.Engine
@@ -124,6 +141,10 @@ type Network struct {
 	cpuBusy  []sim.Time // per-process CPU busy-until
 	wireBusy sim.Time   // shared network busy-until
 	crashed  []bool
+
+	// dsts[p] lists every process except p in ascending order: the
+	// multicast fan-out set, computed once instead of per multicast.
+	dsts [][]int
 
 	counters Counters
 }
@@ -138,12 +159,22 @@ func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *Network {
 	if deliver == nil {
 		panic("netmodel: nil deliver callback")
 	}
+	dsts := make([][]int, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		dsts[p] = make([]int, 0, cfg.N-1)
+		for q := 0; q < cfg.N; q++ {
+			if q != p {
+				dsts[p] = append(dsts[p], q)
+			}
+		}
+	}
 	return &Network{
 		eng:     eng,
 		cfg:     cfg,
 		deliver: deliver,
 		cpuBusy: make([]sim.Time, cfg.N),
 		crashed: make([]bool, cfg.N),
+		dsts:    dsts,
 	}
 }
 
@@ -189,7 +220,7 @@ func (nw *Network) Send(from, to int, payload any) {
 	}
 	nw.counters.Unicasts++
 	nw.emit(TraceSend, nw.eng.Now(), from, to, payload)
-	nw.throughCPU(from, func() { nw.throughWire(from, []int{to}, payload) })
+	nw.throughCPU(from, to, payload)
 }
 
 // Multicast transmits payload from process `from` to every process,
@@ -207,13 +238,30 @@ func (nw *Network) Multicast(from int, payload any) {
 	if nw.cfg.N == 1 {
 		return
 	}
-	dsts := make([]int, 0, nw.cfg.N-1)
-	for p := 0; p < nw.cfg.N; p++ {
-		if p != from {
-			dsts = append(dsts, p)
+	nw.throughCPU(from, -1, payload)
+}
+
+// HandleMsg advances one in-flight message to its next pipeline stage. It
+// implements sim.MsgHandler; a and b carry (from, to).
+func (nw *Network) HandleMsg(op uint8, a, b int, payload any) {
+	switch op {
+	case opSenderCPUDone:
+		nw.throughWire(a, b, payload)
+	case opWireDone:
+		if b >= 0 {
+			nw.intoCPU(b, a, payload)
+		} else {
+			for _, dst := range nw.dsts[a] {
+				nw.intoCPU(dst, a, payload)
+			}
 		}
+	case opRecvCPUDone:
+		nw.deliverAt(b, a, payload)
+	case opLocalDeliver:
+		nw.deliverLocal(a, payload)
+	default:
+		panic(fmt.Sprintf("netmodel: unknown pipeline op %d", op))
 	}
-	nw.throughCPU(from, func() { nw.throughWire(from, dsts, payload) })
 }
 
 // localDeliver schedules a zero-cost self-delivery at the current instant.
@@ -221,35 +269,40 @@ func (nw *Network) Multicast(from int, payload any) {
 // reenters the caller.
 func (nw *Network) localDeliver(p int, payload any) {
 	nw.counters.LocalSends++
-	nw.eng.After(0, func() {
-		if nw.crashed[p] {
-			nw.counters.Drops++
-			nw.emit(TraceDrop, nw.eng.Now(), p, p, payload)
-			return
-		}
-		nw.counters.Deliveries++
-		nw.emit(TraceDeliver, nw.eng.Now(), p, p, payload)
-		nw.deliver(p, p, payload)
-	})
+	nw.eng.AfterMsg(0, nw, opLocalDeliver, p, p, payload)
 }
 
-// throughCPU occupies p's CPU for λ and then runs next. The CPU is FIFO:
-// occupancy accumulates on a busy-until horizon.
-func (nw *Network) throughCPU(p int, next func()) {
+// deliverLocal completes a self-delivery, honouring a crash that happened
+// between the send and this instant.
+func (nw *Network) deliverLocal(p int, payload any) {
+	if nw.crashed[p] {
+		nw.counters.Drops++
+		nw.emit(TraceDrop, nw.eng.Now(), p, p, payload)
+		return
+	}
+	nw.counters.Deliveries++
+	nw.emit(TraceDeliver, nw.eng.Now(), p, p, payload)
+	nw.deliver(p, p, payload)
+}
+
+// throughCPU occupies the sender's CPU for λ and then hands the message to
+// the wire stage. The CPU is FIFO: occupancy accumulates on a busy-until
+// horizon. to is -1 for multicasts.
+func (nw *Network) throughCPU(from, to int, payload any) {
 	start := nw.eng.Now()
-	if nw.cpuBusy[p] > start {
-		start = nw.cpuBusy[p]
+	if nw.cpuBusy[from] > start {
+		start = nw.cpuBusy[from]
 	}
 	done := start.Add(nw.cfg.Lambda)
-	nw.cpuBusy[p] = done
-	nw.eng.Schedule(done, next)
+	nw.cpuBusy[from] = done
+	nw.eng.ScheduleMsg(done, nw, opSenderCPUDone, from, to, payload)
 }
 
 // throughWire occupies the shared network resource for one slot, then fans
 // the message out to every destination CPU. The wire is reserved at the
 // moment the message leaves the sender CPU, which preserves the FIFO
-// arrival order at the medium.
-func (nw *Network) throughWire(from int, dsts []int, payload any) {
+// arrival order at the medium. to is -1 for multicasts.
+func (nw *Network) throughWire(from, to int, payload any) {
 	start := nw.eng.Now()
 	if nw.wireBusy > start {
 		start = nw.wireBusy
@@ -257,20 +310,18 @@ func (nw *Network) throughWire(from int, dsts []int, payload any) {
 	done := start.Add(nw.cfg.Slot)
 	nw.wireBusy = done
 	nw.counters.WireSlots++
-	to := -1
-	if len(dsts) == 1 {
-		to = dsts[0]
+	traceTo := to
+	if to < 0 && len(nw.dsts[from]) == 1 {
+		// A multicast with a single remote destination (N = 2) traces the
+		// concrete destination, as every one-destination wire hop does.
+		traceTo = nw.dsts[from][0]
 	}
-	nw.emit(TraceWire, start, from, to, payload)
-	nw.eng.Schedule(done, func() {
-		for _, dst := range dsts {
-			nw.intoCPU(dst, from, payload)
-		}
-	})
+	nw.emit(TraceWire, start, from, traceTo, payload)
+	nw.eng.ScheduleMsg(done, nw, opWireDone, from, to, payload)
 }
 
 // intoCPU occupies the destination CPU for λ and hands the message to the
-// process, unless it crashed in the meantime.
+// process.
 func (nw *Network) intoCPU(dst, from int, payload any) {
 	start := nw.eng.Now()
 	if nw.cpuBusy[dst] > start {
@@ -278,14 +329,18 @@ func (nw *Network) intoCPU(dst, from int, payload any) {
 	}
 	done := start.Add(nw.cfg.Lambda)
 	nw.cpuBusy[dst] = done
-	nw.eng.Schedule(done, func() {
-		if nw.crashed[dst] {
-			nw.counters.Drops++
-			nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
-			return
-		}
-		nw.counters.Deliveries++
-		nw.emit(TraceDeliver, nw.eng.Now(), from, dst, payload)
-		nw.deliver(dst, from, payload)
-	})
+	nw.eng.ScheduleMsg(done, nw, opRecvCPUDone, from, dst, payload)
+}
+
+// deliverAt completes a remote delivery, unless the destination crashed
+// while the message was in flight.
+func (nw *Network) deliverAt(dst, from int, payload any) {
+	if nw.crashed[dst] {
+		nw.counters.Drops++
+		nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
+		return
+	}
+	nw.counters.Deliveries++
+	nw.emit(TraceDeliver, nw.eng.Now(), from, dst, payload)
+	nw.deliver(dst, from, payload)
 }

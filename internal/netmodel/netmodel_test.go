@@ -385,3 +385,46 @@ func TestPaperExampleRunTiming(t *testing.T) {
 		t.Fatalf("ack delivered at %v, want 6ms", ackAt)
 	}
 }
+
+// TestTwoProcessMulticastWireTracesConcreteDestination: the wire hop of a
+// multicast with exactly one remote destination (N = 2) records that
+// destination, not the -1 broadcast marker — every one-destination wire
+// occupation traces the same way, whether it came from Send or Multicast.
+func TestTwoProcessMulticastWireTracesConcreteDestination(t *testing.T) {
+	h := newHarness(t, DefaultConfig(2))
+	var wires []TraceEvent
+	h.nw.SetTrace(func(ev TraceEvent) {
+		if ev.Kind == TraceWire {
+			wires = append(wires, ev)
+		}
+	})
+	h.nw.Multicast(0, "m")
+	h.nw.Send(1, 0, "u")
+	h.eng.Run()
+	if len(wires) != 2 {
+		t.Fatalf("traced %d wire events, want 2", len(wires))
+	}
+	if wires[0].From != 0 || wires[0].To != 1 {
+		t.Fatalf("multicast wire hop traced %d->%d, want 0->1", wires[0].From, wires[0].To)
+	}
+	if wires[1].From != 1 || wires[1].To != 0 {
+		t.Fatalf("unicast wire hop traced %d->%d, want 1->0", wires[1].From, wires[1].To)
+	}
+}
+
+// TestWiderMulticastWireTracesBroadcastMarker: with more than one remote
+// destination the wire hop traces To = -1.
+func TestWiderMulticastWireTracesBroadcastMarker(t *testing.T) {
+	h := newHarness(t, DefaultConfig(3))
+	var wires []TraceEvent
+	h.nw.SetTrace(func(ev TraceEvent) {
+		if ev.Kind == TraceWire {
+			wires = append(wires, ev)
+		}
+	})
+	h.nw.Multicast(0, "m")
+	h.eng.Run()
+	if len(wires) != 1 || wires[0].To != -1 {
+		t.Fatalf("3-process multicast wire trace = %+v, want one event with To=-1", wires)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// recorder collects closure-free dispatches in arrival order.
+type recorder struct {
+	ops []record
+}
+
+type record struct {
+	op      uint8
+	a, b    int
+	payload any
+	at      Time
+}
+
+type recordingEngine struct {
+	*recorder
+	eng *Engine
+}
+
+func (r recordingEngine) HandleMsg(op uint8, a, b int, payload any) {
+	r.ops = append(r.ops, record{op, a, b, payload, r.eng.Now()})
+}
+
+func TestScheduleMsgDispatchesRecord(t *testing.T) {
+	e := New()
+	rec := recordingEngine{&recorder{}, e}
+	e.ScheduleMsg(Time(10), rec, 3, 7, -1, "payload")
+	e.AfterMsg(5*time.Nanosecond, rec, 1, 2, 3, nil)
+	e.Run()
+	want := []record{
+		{1, 2, 3, nil, Time(5)},
+		{3, 7, -1, "payload", Time(10)},
+	}
+	if len(rec.ops) != len(want) {
+		t.Fatalf("dispatched %d records, want %d", len(rec.ops), len(want))
+	}
+	for i, w := range want {
+		if rec.ops[i] != w {
+			t.Fatalf("record %d = %+v, want %+v", i, rec.ops[i], w)
+		}
+	}
+}
+
+// TestMsgAndClosureFormsInterleaveDeterministically: both scheduling forms
+// share one (when, seq) order, so same-instant events of either kind fire
+// in scheduling order.
+func TestMsgAndClosureFormsInterleaveDeterministically(t *testing.T) {
+	e := New()
+	var got []int
+	h := handlerFunc(func(op uint8, _, _ int, _ any) { got = append(got, int(op)) })
+	e.ScheduleMsg(Time(5), h, 0, 0, 0, nil)
+	e.Schedule(Time(5), func() { got = append(got, 1) })
+	e.ScheduleMsg(Time(5), h, 2, 0, 0, nil)
+	e.Schedule(Time(5), func() { got = append(got, 3) })
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("interleaved order %v, want ascending", got)
+		}
+	}
+}
+
+// handlerFunc adapts a function to MsgHandler for tests.
+type handlerFunc func(op uint8, a, b int, payload any)
+
+func (f handlerFunc) HandleMsg(op uint8, a, b int, payload any) { f(op, a, b, payload) }
+
+// TestScheduleMsgRecyclesRecords: once the free list is warm, the
+// closure-free hot path performs no allocations at all.
+func TestScheduleMsgRecyclesRecords(t *testing.T) {
+	e := New()
+	h := handlerFunc(func(uint8, int, int, any) {})
+	// Warm the free list.
+	for i := 0; i < 64; i++ {
+		e.AfterMsg(time.Duration(i), h, 0, i, i, nil)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			e.AfterMsg(time.Duration(i), h, 0, i, i, nil)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ScheduleMsg+Run allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestMsgRecordsRescheduledFromHandler: a handler scheduling from inside a
+// dispatch reuses the record that is firing, the hot pattern of the
+// network model's three-stage pipeline.
+func TestMsgRecordsRescheduledFromHandler(t *testing.T) {
+	e := New()
+	hops := 0
+	var h handlerFunc
+	h = func(op uint8, a, b int, payload any) {
+		hops++
+		if hops < 100 {
+			e.AfterMsg(time.Nanosecond, h, op, a, b, payload)
+		}
+	}
+	e.AfterMsg(0, h, 0, 1, 2, "m")
+	e.Run()
+	if hops != 100 {
+		t.Fatalf("pipeline hopped %d times, want 100", hops)
+	}
+}
+
+func TestScheduleMsgNilHandlerPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleMsg with nil handler did not panic")
+		}
+	}()
+	e.ScheduleMsg(Time(1), nil, 0, 0, 0, nil)
+}
+
+func TestScheduleMsgInPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(Time(100), func() {})
+	e.Run()
+	h := handlerFunc(func(uint8, int, int, any) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleMsg in the past did not panic")
+		}
+	}()
+	e.ScheduleMsg(Time(50), h, 0, 0, 0, nil)
+}
+
+// TestMsgEventsCountAsPendingAndExecuted: diagnostics treat both forms
+// uniformly.
+func TestMsgEventsCountAsPendingAndExecuted(t *testing.T) {
+	e := New()
+	h := handlerFunc(func(uint8, int, int, any) {})
+	e.ScheduleMsg(Time(1), h, 0, 0, 0, nil)
+	e.Schedule(Time(2), func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	if n := e.Run(); n != 2 {
+		t.Fatalf("Run() = %d, want 2", n)
+	}
+	if e.Executed() != 2 {
+		t.Fatalf("Executed() = %d, want 2", e.Executed())
+	}
+}

@@ -9,10 +9,17 @@
 // at a time in a deterministic order, so a simulation is reproducible
 // bit-for-bit from its seed. Events scheduled for the same instant run in
 // the order they were scheduled.
+//
+// Two scheduling forms exist. Schedule and After take a closure and return
+// a cancellable *Event handle — the form protocol timers use. ScheduleMsg
+// and AfterMsg take a typed record (an opcode, two integers and a payload)
+// dispatched to a MsgHandler; they return no handle, which lets the engine
+// recycle the event record through a free list the moment it fires. The
+// per-message hot path of the network model runs entirely on the second
+// form, so simulating a message allocates nothing in the kernel.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -57,22 +64,53 @@ func Millis(ms float64) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
+// MsgHandler receives closure-free scheduled records. The meaning of op,
+// a and b is private to the handler; the engine only stores and returns
+// them. Implementations are typically a single switch over op, so one
+// handler serves every stage of a pipeline without a closure per stage.
+type MsgHandler interface {
+	HandleMsg(op uint8, a, b int, payload any)
+}
+
 // Event is a scheduled callback. It is returned by Engine.Schedule and
-// Engine.After so that the caller can cancel it before it fires.
+// Engine.After so that the caller can cancel it before it fires. Events
+// scheduled through ScheduleMsg/AfterMsg are internal records recycled
+// through the engine's free list; no handle to them ever escapes.
 type Event struct {
-	when      Time
-	seq       uint64
-	fn        func()
+	eng  *Engine
+	when Time
+	seq  uint64
+
+	// Exactly one of fn (closure form) and h (typed form) is set.
+	fn      func()
+	h       MsgHandler
+	payload any
+	a, b    int
+	op      uint8
+
 	index     int // heap index, -1 once removed
 	cancelled bool
+	free      *Event // free-list link, non-nil only while recycled
 }
 
 // When returns the instant the event is scheduled to fire at.
 func (ev *Event) When() Time { return ev.when }
 
-// Cancel prevents the event from firing. Cancelling an event that already
+// Cancel prevents the event from firing. The event is removed from the
+// queue immediately and its callback reference is dropped, so whatever
+// the closure captured becomes collectable now rather than when the
+// timestamp would have been reached. Cancelling an event that already
 // fired or was already cancelled is a no-op.
-func (ev *Event) Cancel() { ev.cancelled = true }
+func (ev *Event) Cancel() {
+	if ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	ev.fn = nil
+	if ev.index >= 0 {
+		ev.eng.removeAt(ev.index)
+	}
+}
 
 // Cancelled reports whether Cancel was called on the event.
 func (ev *Event) Cancelled() bool { return ev.cancelled }
@@ -81,7 +119,8 @@ func (ev *Event) Cancelled() bool { return ev.cancelled }
 // usable; create engines with New.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	heap    []*Event // binary heap ordered by (when, seq)
+	free    *Event   // free list of recycled typed-event records
 	seq     uint64
 	stopped bool
 
@@ -101,23 +140,28 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events that have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events currently scheduled, including
-// cancelled events that have not yet been discarded.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of events currently scheduled. Cancelled
+// events are removed from the queue eagerly, so they never count.
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// Schedule registers fn to run at instant at. Scheduling in the past
-// (before Now) panics: it would silently reorder causality, which is
-// always a bug in the caller.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// checkAt guards against scheduling in the past (before Now): it would
+// silently reorder causality, which is always a bug in the caller.
+func (e *Engine) checkAt(at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
+}
+
+// Schedule registers fn to run at instant at and returns a cancellable
+// handle. Scheduling in the past (before Now) panics.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	e.checkAt(at)
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	ev := &Event{when: at, seq: e.seq, fn: fn}
+	ev := &Event{eng: e, when: at, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -125,6 +169,36 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 // durations panic, zero durations run after the current callback returns.
 func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.Schedule(e.now.Add(d), fn)
+}
+
+// ScheduleMsg registers a closure-free event: at instant at, the engine
+// calls h.HandleMsg(op, a, b, payload). No handle is returned, so the
+// record is pooled — scheduling through this form does not allocate once
+// the free list is warm. Scheduling in the past panics.
+func (e *Engine) ScheduleMsg(at Time, h MsgHandler, op uint8, a, b int, payload any) {
+	e.checkAt(at)
+	if h == nil {
+		panic("sim: ScheduleMsg with nil handler")
+	}
+	// Typed records never carry the eng back-pointer: no handle escapes,
+	// so Cancel can never be called on them.
+	ev := e.free
+	if ev != nil {
+		e.free = ev.free
+		ev.free = nil
+		ev.cancelled = false
+	} else {
+		ev = &Event{}
+	}
+	ev.when, ev.seq = at, e.seq
+	ev.h, ev.op, ev.a, ev.b, ev.payload = h, op, a, b, payload
+	e.seq++
+	e.push(ev)
+}
+
+// AfterMsg schedules a closure-free event d after the current instant.
+func (e *Engine) AfterMsg(d time.Duration, h MsgHandler, op uint8, a, b int, payload any) {
+	e.ScheduleMsg(e.now.Add(d), h, op, a, b, payload)
 }
 
 // Stop makes the current Run or RunUntil call return after the in-progress
@@ -151,62 +225,127 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 func (e *Engine) run(deadline Time) uint64 {
 	e.stopped = false
 	var n uint64
-	for e.queue.Len() > 0 && !e.stopped {
-		ev := e.queue.peek()
+	for len(e.heap) > 0 && !e.stopped {
+		ev := e.heap[0]
 		if ev.when > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
-		if ev.cancelled {
-			continue
-		}
-		if ev.when < e.now {
-			// Heap invariant violated; cannot happen unless memory is
-			// corrupted, but guard anyway rather than run time backwards.
-			panic(fmt.Sprintf("sim: event at %v before now %v", ev.when, e.now))
-		}
+		e.pop()
 		e.now = ev.when
 		e.executed++
 		n++
-		ev.fn()
+		if ev.fn != nil {
+			fn := ev.fn
+			// Drop the closure before calling it: a fired event whose
+			// handle is still retained must not pin what fn captured.
+			ev.fn = nil
+			fn()
+		} else {
+			h, op, a, b, payload := ev.h, ev.op, ev.a, ev.b, ev.payload
+			// Recycle before dispatch so the handler's own ScheduleMsg
+			// calls reuse this record immediately.
+			ev.h, ev.payload = nil, nil
+			ev.free = e.free
+			e.free = ev
+			h.HandleMsg(op, a, b, payload)
+		}
 	}
 	return n
 }
 
-// eventQueue is a binary heap of events ordered by (when, seq). The seq
-// tie-break makes same-instant events fire in scheduling order, which is
-// what keeps executions deterministic.
-type eventQueue []*Event
+// The event queue is a hand-inlined binary heap ordered by (when, seq).
+// The seq tie-break makes same-instant events fire in scheduling order,
+// which is what keeps executions deterministic. Compared to
+// container/heap this avoids the interface-method dispatch on every
+// sift step and lets cancellation remove by index without a Fix.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// less orders heap slots i and j.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// push appends ev and restores the heap invariant.
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.siftUp(ev.index)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// pop removes the root. The caller already holds e.heap[0].
+func (e *Engine) pop() {
+	last := len(e.heap) - 1
+	root := e.heap[0]
+	if last > 0 {
+		e.heap[0] = e.heap[last]
+		e.heap[0].index = 0
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 1 {
+		e.siftDown(0)
+	}
+	root.index = -1
+	// Drop the engine back-pointer (only Cancel needs it, only while
+	// queued): a retained handle to a fired event must not pin the whole
+	// engine — heap and free list included.
+	root.eng = nil
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// removeAt deletes the event at heap slot i, restoring the invariant from
+// that slot in both directions.
+func (e *Engine) removeAt(i int) {
+	ev := e.heap[i]
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.heap[i].index = i
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
 	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	ev.eng = nil // as in pop: a removed event must not pin the engine
 }
 
-func (q eventQueue) peek() *Event { return q[0] }
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			break
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}

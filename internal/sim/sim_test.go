@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
@@ -77,6 +78,101 @@ func TestCancelPreventsExecution(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("Cancelled() = false after Cancel")
 	}
+}
+
+func TestCancelRemovesFromQueueEagerly(t *testing.T) {
+	e := New()
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, e.Schedule(Time(i*10), func() {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", e.Pending())
+	}
+	// Cancel every other event, including the root and the last leaf: the
+	// queue must shrink immediately, not at pop time.
+	for i := 0; i < 10; i += 2 {
+		evs[i].Cancel()
+		evs[i].Cancel() // double cancel is a no-op
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d after cancelling 5 of 10, want 5", e.Pending())
+	}
+	if n := e.Run(); n != 5 {
+		t.Fatalf("Run executed %d events, want 5", n)
+	}
+	if e.Now() != Time(90) {
+		t.Fatalf("Now() = %v, want 90", e.Now())
+	}
+}
+
+// TestCancelReleasesClosurePromptly is the closure-retention regression
+// test: cancelling an event must free whatever its callback captured right
+// away. Before eager removal, a cancelled long-TMR failure-detector timer
+// pinned its closure (and everything reachable from it) until the distant
+// timestamp was reached.
+func TestCancelReleasesClosurePromptly(t *testing.T) {
+	e := New()
+	type ballast struct{ buf []byte }
+	collected := make(chan struct{})
+	ev := func() *Event {
+		p := &ballast{buf: make([]byte, 1<<20)}
+		runtime.SetFinalizer(p, func(*ballast) { close(collected) })
+		// Far-future timer, as a TMR mistake timer would be.
+		return e.Schedule(Time(0).Add(time.Hour), func() { _ = p.buf })
+	}()
+	ev.Cancel()
+	waitCollected(t, collected, "closure captured by a cancelled event")
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0", e.Pending())
+	}
+}
+
+// TestFiredEventReleasesClosure: a fired event whose handle is still
+// retained (the workload generator keeps its last timer, for example) must
+// not pin the callback either.
+func TestFiredEventReleasesClosure(t *testing.T) {
+	e := New()
+	type ballast struct{ buf []byte }
+	collected := make(chan struct{})
+	ev := func() *Event {
+		p := &ballast{buf: make([]byte, 1<<20)}
+		runtime.SetFinalizer(p, func(*ballast) { close(collected) })
+		return e.Schedule(Time(1), func() { _ = p.buf })
+	}()
+	e.Run()
+	waitCollected(t, collected, "closure captured by a fired event with a retained handle")
+	_ = ev
+}
+
+// TestRetainedHandleDoesNotPinEngine: a fired (or cancelled) event whose
+// handle outlives the simulation must not keep the whole engine — heap
+// and free list included — reachable through its back-pointer.
+func TestRetainedHandleDoesNotPinEngine(t *testing.T) {
+	collected := make(chan struct{})
+	handle := func() *Event {
+		e := New()
+		runtime.SetFinalizer(e, func(*Engine) { close(collected) })
+		ev := e.Schedule(Time(1), func() {})
+		e.Run()
+		return ev
+	}()
+	waitCollected(t, collected, "engine referenced only by a retained fired-event handle")
+	_ = handle
+}
+
+// waitCollected GCs until the finalizer on the test ballast runs.
+func waitCollected(t *testing.T, collected chan struct{}, what string) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("%s was never garbage-collected", what)
 }
 
 func TestCancelFromEarlierEvent(t *testing.T) {

@@ -98,7 +98,8 @@ func WorstCaseTransient(cfg TransientConfig, sweepCrash bool) TransientResult {
 type Runner = experiment.Runner
 
 // Sweep describes a grid of steady-state experiment points over
-// Algorithm × N × Throughput × QoS; unset axes inherit the Base config.
+// Algorithm × N × Throughput × QoS × Lambda × Crashed; unset axes
+// inherit the Base config.
 type Sweep = experiment.Sweep
 
 // RunSweep runs every point of the grid on GOMAXPROCS workers and
