@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ctabcast"
+	"repro/internal/experiment"
 	"repro/internal/fd"
 	"repro/internal/gm"
 	"repro/internal/hbfd"
@@ -73,13 +74,12 @@ type ClusterConfig struct {
 	Heartbeat *HeartbeatConfig
 }
 
-// HeartbeatConfig tunes the concrete heartbeat failure detector.
-type HeartbeatConfig struct {
-	// Interval between heartbeats (default 10 ms).
-	Interval time.Duration
-	// Timeout of silence before suspicion (default 3x Interval).
-	Timeout time.Duration
-}
+// HeartbeatConfig tunes the concrete heartbeat failure detector: the
+// Interval between heartbeats (default 10 ms) and the Timeout of silence
+// before suspicion (default 3x Interval). It is the same type
+// Config.Detector and Sweep.Detectors take, so one tuning value drives
+// both the interactive Cluster and the experiment Runner.
+type HeartbeatConfig = experiment.Heartbeat
 
 // Cluster is an interactively driven simulated cluster running one of the
 // paper's atomic broadcast algorithms. All methods must be called from a
@@ -255,20 +255,10 @@ func (c *Cluster) SetTrace(fn func(NetEvent)) {
 			Stage:   ev.Kind.String(),
 			From:    ev.From,
 			To:      ev.To,
-			Payload: payloadName(ev.Payload),
+			Payload: netmodel.PayloadName(ev.Payload),
 			At:      ev.At.Duration(),
 		})
 	})
-}
-
-// payloadName renders a protocol payload compactly for traces, preferring
-// a payload's own String method (protocol wrappers name their inner
-// message).
-func payloadName(p any) string {
-	if s, ok := p.(fmt.Stringer); ok {
-		return s.String()
-	}
-	return fmt.Sprintf("%T", p)
 }
 
 // Perfect returns a QoS with instant detection and no mistakes.

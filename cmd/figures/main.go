@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -28,12 +29,14 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, ablations or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, smoke, ablations or all")
 	quickFlag   = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
 	seedFlag    = flag.Uint64("seed", 1, "base random seed")
 	repsFlag    = flag.Int("reps", 0, "replications per point (0 = scenario default)")
 	workersFlag = flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS, 1 = serial)")
 	progFlag    = flag.Bool("progress", false, "report replication progress on stderr")
+	traceFlag   = flag.String("trace", "", "write the smoke grid's replayable trace to this file (fig smoke)")
+	replayFlag  = flag.String("replay", "", "replay a trace file, verify delivery digests and exit")
 )
 
 // runner fans every figure's (point, replication) grid out over a worker
@@ -43,6 +46,10 @@ var runner *repro.Runner
 func main() {
 	flag.Parse()
 	runner = &repro.Runner{Workers: *workersFlag}
+	if *replayFlag != "" {
+		replayTrace(*replayFlag)
+		return
+	}
 	if *progFlag {
 		// Progress may fire concurrently and out of order from worker
 		// goroutines: serialise and drop regressions so a stale count
@@ -76,6 +83,12 @@ func main() {
 		fig7()
 	case "8":
 		fig8()
+	case "dist":
+		figDist()
+	case "hb":
+		figHeartbeat()
+	case "smoke":
+		figSmoke()
 	case "ablations":
 		ablations()
 	case "all":
@@ -85,6 +98,8 @@ func main() {
 		fig6()
 		fig7()
 		fig8()
+		figDist()
+		figHeartbeat()
 		ablations()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
@@ -431,6 +446,215 @@ func ablations() {
 		fmt.Printf("%.1f\t%s\n", lambda, cell(resC[i]))
 	}
 	fmt.Println()
+}
+
+// qcell formats one point's P50/P90/P99 columns, or "unstable".
+func qcell(q repro.Quantiles, stable bool) string {
+	if !stable || q.N == 0 {
+		return "unstable\tunstable\tunstable"
+	}
+	return fmt.Sprintf("%.2f\t%.2f\t%.2f", q.P50, q.P90, q.P99)
+}
+
+// figDist emits the distribution view the mean-with-CI figures cannot
+// show. Block D1 revisits the suspicion-steady scenario (Fig. 6) as
+// quantiles with the early/late population split: most messages deliver
+// at failure-free latency while wrong suspicions push a second
+// population far out, and only the split makes that visible. Block D2
+// revisits the crash-transient scenario (Fig. 8) as probe-latency
+// quantiles over replications.
+func figDist() {
+	// D1: suspicion-steady quantiles. The first QoS entry is the
+	// no-suspicion baseline; the early/late threshold is twice its median.
+	tmrs := []float64{30, 100, 300, 1000, 3000, 10000}
+	if *quickFlag {
+		tmrs = []float64{100, 1000, 10000}
+	}
+	const n, thr = 3, 100.0
+	fmt.Printf("# Figure D1: latency quantiles vs TMR, suspicion-steady, TM=0, n=%d, throughput=%.0f/s\n", n, thr)
+	fmt.Println("# late% = share of messages above 2x the no-suspicion median latency")
+	fmt.Println("# TMR(ms)\tFD_P50\tFD_P90\tFD_P99\tFD_late%\tGM_P50\tGM_P90\tGM_P99\tGM_late%")
+	qos := []repro.QoS{{}} // baseline: no suspicions
+	for _, tmr := range tmrs {
+		qos = append(qos, repro.Detectors(0, tmr, 0))
+	}
+	res := runner.Sweep(repro.Sweep{
+		Base:       steadyCfg(repro.FD, n, thr),
+		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+		QoS:        qos,
+	})
+	lateCell := func(r repro.Result, threshold float64) string {
+		if !r.Stable || r.Quantiles.N == 0 {
+			return "unstable"
+		}
+		_, late := r.Dist.SplitAt(threshold)
+		return fmt.Sprintf("%.1f", 100*float64(late.N())/float64(r.Quantiles.N))
+	}
+	fdThreshold := 2 * res[0].Quantiles.P50
+	gmThreshold := 2 * res[len(qos)].Quantiles.P50
+	for i, tmr := range tmrs {
+		fd, gm := res[1+i], res[len(qos)+1+i]
+		fmt.Printf("%.0f\t%s\t%s\t%s\t%s\n",
+			tmr,
+			qcell(fd.Quantiles, fd.Stable), lateCell(fd, fdThreshold),
+			qcell(gm.Quantiles, gm.Stable), lateCell(gm, gmThreshold))
+	}
+	fmt.Println()
+
+	// D2: crash-transient probe-latency quantiles over replications.
+	thrs := []float64{10, 100, 300, 500}
+	reps := 10
+	if *quickFlag {
+		reps = 5
+	}
+	if *repsFlag > 0 {
+		reps = *repsFlag
+	}
+	fmt.Printf("# Figure D2: crash-transient probe latency quantiles (Fig. 8 revisited),\n")
+	fmt.Printf("# crash of coordinator/sequencer p0, sender p1, n=3, TD=10ms, %d replications\n", reps)
+	fmt.Println("# throughput(1/s)\tFD_P50\tFD_P90\tFD_P99\tGM_P50\tGM_P90\tGM_P99")
+	var cfgs []repro.TransientConfig
+	for _, thr := range thrs {
+		for _, alg := range []repro.Algorithm{repro.FD, repro.GM} {
+			cfgs = append(cfgs, repro.TransientConfig{
+				Config: repro.Config{
+					Algorithm:    alg,
+					N:            3,
+					Throughput:   thr,
+					QoS:          repro.Detectors(10, 0, 0),
+					Seed:         *seedFlag,
+					Warmup:       time.Second,
+					Drain:        20 * time.Second,
+					Replications: reps,
+				},
+				Crash:  0,
+				Sender: 1,
+			})
+		}
+	}
+	tres := runner.TransientAll(cfgs)
+	for i, thr := range thrs {
+		fmt.Printf("%.0f\t%s\t%s\n", thr,
+			qcell(tres[2*i].Quantiles, tres[2*i].Quantiles.N > 0),
+			qcell(tres[2*i+1].Quantiles, tres[2*i+1].Quantiles.N > 0))
+	}
+	fmt.Println()
+}
+
+// figHeartbeat drives the concrete heartbeat failure detector through
+// the Sweep Detector axis: the same workload under the abstract QoS
+// model and under real heartbeat traffic that contends for the wire.
+func figHeartbeat() {
+	detectors := []*repro.HeartbeatConfig{
+		nil, // abstract QoS model, perfect detector
+		repro.HeartbeatDetector(10, 30),
+		repro.HeartbeatDetector(20, 60),
+	}
+	names := []string{"qos-model", "hb-10/30ms", "hb-20/60ms"}
+	thrs := []float64{10, 100, 300}
+	fmt.Println("# Figure H: concrete heartbeat FD vs abstract QoS model, normal-steady, FD algorithm, n=3")
+	fmt.Println("# heartbeats share the contended wire, so detection cost appears as added latency")
+	fmt.Println("# throughput(1/s)\tdetector\tmean(ms)\tci\tP50\tP90\tP99")
+	var cfgs []repro.Config
+	for _, thr := range thrs {
+		cfgs = append(cfgs, repro.Sweep{
+			Base:      steadyCfg(repro.FD, 3, thr),
+			Detectors: detectors,
+		}.Points()...)
+	}
+	res := runner.SteadyAll(cfgs)
+	for ti, thr := range thrs {
+		for di, name := range names {
+			r := res[ti*len(detectors)+di]
+			if !r.Stable {
+				fmt.Printf("%.0f\t%s\tunstable\tunstable\tunstable\tunstable\tunstable\n", thr, name)
+				continue
+			}
+			fmt.Printf("%.0f\t%s\t%.2f\t%.2f\t%s\n", thr, name, r.Latency.Mean, r.Latency.CI95,
+				qcell(r.Quantiles, true))
+		}
+	}
+	fmt.Println()
+}
+
+// figSmoke runs a fixed two-point grid — the abstract QoS model and the
+// concrete heartbeat detector — with the trace observer attached, and
+// prints each replication's delivery digest plus each point's summary.
+// Everything is pinned (seed, durations, grid), so the output is
+// byte-stable across machines and lives in golden/figures_smoke.tsv; CI
+// regenerates it and fails on any diff, then replays the trace. The
+// -trace flag selects the trace file (default: discard).
+func figSmoke() {
+	var w io.Writer = io.Discard
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	tr := repro.NewTrace(w)
+	sweep := repro.Sweep{
+		Base: repro.Config{
+			Algorithm:    repro.FD,
+			N:            3,
+			Throughput:   50,
+			Seed:         1,
+			Warmup:       200 * time.Millisecond,
+			Measure:      time.Second,
+			Drain:        5 * time.Second,
+			Replications: 2,
+			Observers:    []repro.ObserverFactory{tr.Observer},
+		},
+		Detectors: []*repro.HeartbeatConfig{nil, repro.HeartbeatDetector(10, 30)},
+	}
+	res := runner.Sweep(sweep)
+	fmt.Println("# Smoke grid: FD n=3 T=50/s seed=1, QoS model (point 0) vs heartbeat 10/30ms (point 1)")
+	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages")
+	for i, r := range res {
+		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n", i,
+			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages)
+	}
+	fmt.Println("# point\trep\tdelivery_digest")
+	for _, d := range tr.Digests() {
+		fmt.Printf("%d\t%d\t%016x\n", d.Point, d.Rep, d.Digest)
+	}
+	if err := tr.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace flush: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// replayTrace re-runs every replication of a trace file and verifies the
+// delivery digests, exiting non-zero on any mismatch.
+func replayTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	results, err := repro.ReplayTrace(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+	bad := 0
+	for _, r := range results {
+		status := "ok"
+		if !r.Match {
+			status = fmt.Sprintf("MISMATCH (recorded %016x, replayed %016x)", r.Recorded, r.Replayed)
+			bad++
+		}
+		fmt.Printf("point %d rep %d: %s\n", r.Point, r.Rep, status)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "replay: %d of %d replications diverged\n", bad, len(results))
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %d replications, all digests match\n", len(results))
 }
 
 // pid converts an int to the facade's process identifier type used in

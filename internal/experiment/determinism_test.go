@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/proto"
+	"repro/internal/stats"
+)
+
+// goldenConfigs mirrors the nine golden-digest scenarios of the
+// repository root (golden_test.go) as steady experiment points: the same
+// algorithm / size / seed / QoS / lambda / pre-crash / detector axes,
+// scaled to test-suite durations. They cover FD, GM and GM-nu; n = 2, 3,
+// 5 and 7; stochastic suspicions; pre-crashes; λ = 2; and the concrete
+// heartbeat detector.
+func goldenConfigs() []Config {
+	qos := func(tdMs, tmrMs, tmMs float64) fd.QoS {
+		return fd.QoS{
+			TD:  time.Duration(tdMs * float64(time.Millisecond)),
+			TMR: time.Duration(tmrMs * float64(time.Millisecond)),
+			TM:  time.Duration(tmMs * float64(time.Millisecond)),
+		}
+	}
+	base := Config{
+		Throughput:   50,
+		Warmup:       200 * time.Millisecond,
+		Measure:      time.Second,
+		Drain:        6 * time.Second,
+		Replications: 3,
+	}
+	mk := func(alg Algorithm, n int, seed uint64, mod func(*Config)) Config {
+		cfg := base
+		cfg.Algorithm, cfg.N, cfg.Seed = alg, n, seed
+		if mod != nil {
+			mod(&cfg)
+		}
+		return cfg
+	}
+	return []Config{
+		mk(FD, 3, 41, func(c *Config) { c.QoS = qos(10, 0, 0) }),
+		mk(GM, 3, 41, func(c *Config) { c.QoS = qos(10, 0, 0) }),
+		mk(GMNonUniform, 3, 7, nil),
+		mk(FD, 7, 13, func(c *Config) { c.Crashed = []proto.PID{5, 6}; c.QoS = qos(0, 400, 20) }),
+		mk(GM, 7, 13, func(c *Config) { c.Crashed = []proto.PID{5, 6}; c.QoS = qos(0, 400, 20) }),
+		mk(FD, 3, 23, func(c *Config) {
+			c.Detector = &Heartbeat{Interval: 10 * time.Millisecond, Timeout: 30 * time.Millisecond}
+		}),
+		mk(FD, 3, 3, func(c *Config) { c.Lambda = 2; c.QoS = qos(20, 0, 0) }),
+		mk(FD, 2, 5, func(c *Config) { c.QoS = qos(10, 0, 0) }),
+		mk(GM, 5, 99, func(c *Config) { c.QoS = qos(5, 0, 0) }),
+	}
+}
+
+// TestCollectorMergeDeterministicAcrossWorkers is the distribution-level
+// worker-count contract: across all nine golden-scenario configurations,
+// the pooled latency collector — raw values, quantiles and histogram
+// bins — must be bit-identical between Workers = 1 and Workers = N, not
+// just the means the older tests pinned.
+func TestCollectorMergeDeterministicAcrossWorkers(t *testing.T) {
+	cfgs := goldenConfigs()
+	serial := (&Runner{Workers: 1}).SteadyAll(cfgs)
+	parallel := (&Runner{Workers: 7}).SteadyAll(cfgs)
+	if len(serial) != len(cfgs) || len(parallel) != len(cfgs) {
+		t.Fatalf("result counts: %d serial, %d parallel, want %d", len(serial), len(parallel), len(cfgs))
+	}
+	for i := range cfgs {
+		s, p := serial[i], parallel[i]
+		name := s.Config.Algorithm.String()
+		if s.Messages == 0 {
+			t.Fatalf("config %d (%s/n=%d) measured nothing", i, name, s.Config.N)
+		}
+		// Raw value streams, in merge order.
+		sv, pv := s.Dist.Values(), p.Dist.Values()
+		if len(sv) != len(pv) {
+			t.Fatalf("config %d (%s/n=%d): %d vs %d pooled values", i, name, s.Config.N, len(sv), len(pv))
+		}
+		for k := range sv {
+			if math.Float64bits(sv[k]) != math.Float64bits(pv[k]) {
+				t.Fatalf("config %d (%s/n=%d): value %d differs: %v vs %v",
+					i, name, s.Config.N, k, sv[k], pv[k])
+			}
+		}
+		// Quantile snapshots.
+		if !quantilesBitIdentical(s.Quantiles, p.Quantiles) {
+			t.Fatalf("config %d (%s/n=%d): quantiles differ:\nserial:   %+v\nparallel: %+v",
+				i, name, s.Config.N, s.Quantiles, p.Quantiles)
+		}
+		// Histogram bins over a fixed grid.
+		sh := s.Dist.Histogram(0, 200, 64)
+		ph := p.Dist.Histogram(0, 200, 64)
+		for b := range sh.Counts {
+			if sh.Counts[b] != ph.Counts[b] {
+				t.Fatalf("config %d (%s/n=%d): histogram bin %d = %d vs %d",
+					i, name, s.Config.N, b, sh.Counts[b], ph.Counts[b])
+			}
+		}
+		// And the summaries still agree, as before the redesign.
+		if !summariesBitIdentical(s.Latency, p.Latency) || !summariesBitIdentical(s.PerMessage, p.PerMessage) {
+			t.Fatalf("config %d (%s/n=%d): summaries differ", i, name, s.Config.N)
+		}
+	}
+}
+
+func quantilesBitIdentical(a, b stats.Quantiles) bool {
+	return a.N == b.N &&
+		math.Float64bits(a.Min) == math.Float64bits(b.Min) &&
+		math.Float64bits(a.P50) == math.Float64bits(b.P50) &&
+		math.Float64bits(a.P90) == math.Float64bits(b.P90) &&
+		math.Float64bits(a.P99) == math.Float64bits(b.P99) &&
+		math.Float64bits(a.Max) == math.Float64bits(b.Max)
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/ctabcast"
 	"repro/internal/fd"
+	"repro/internal/hbfd"
 	"repro/internal/netmodel"
 	"repro/internal/proto"
 	"repro/internal/seqabcast"
@@ -76,8 +77,17 @@ type Config struct {
 	// Lambda is the network model's CPU/wire cost ratio; zero selects
 	// λ = 1, the value of every figure in the DSN paper.
 	Lambda float64
-	// QoS parameterises the failure detectors (§6.2).
+	// QoS parameterises the failure detectors (§6.2). Ignored when
+	// Detector selects the concrete heartbeat implementation.
 	QoS fd.QoS
+	// Detector, if non-nil, replaces the abstract QoS failure-detector
+	// model with the concrete heartbeat detector of internal/hbfd: every
+	// process multicasts heartbeats through the same contended network as
+	// protocol messages, so detection quality degrades with load instead
+	// of following prescribed QoS metrics. The QoS field is then ignored
+	// (the modelled detectors stay silent), which lets a Sweep cross a
+	// QoS axis with a Detectors axis without invalid points.
+	Detector *Heartbeat
 	// Crashed lists pre-crashed processes (crash-steady): suspected from
 	// the start, outside the initial GM view, sending nothing.
 	Crashed []proto.PID
@@ -98,6 +108,30 @@ type Config struct {
 	// Replications is the number of independent runs aggregated into the
 	// confidence interval. Zero selects 5.
 	Replications int
+	// Observers lists cross-cutting observer factories; the replication
+	// engine builds one observer per replication from each and feeds it
+	// the replication's events alongside the scenario. See Observer,
+	// LatencyDist and Trace.
+	Observers []ObserverFactory
+	// transient carries the crash-transient parameters down to observers
+	// when the runner executes the transient scenario, so a trace records
+	// the replayable scenario kind. Set by Runner.TransientAll only.
+	transient *transientInfo
+}
+
+// transientInfo is the crash-transient scenario's identity as seen by
+// observers.
+type transientInfo struct {
+	crash, sender proto.PID
+}
+
+// Heartbeat tunes the concrete heartbeat failure detector selected by
+// Config.Detector (see internal/hbfd).
+type Heartbeat struct {
+	// Interval between heartbeats. Zero selects 10 ms.
+	Interval time.Duration
+	// Timeout of silence before suspicion. Zero selects 3x Interval.
+	Timeout time.Duration
 }
 
 // Defaults used when Config fields are zero.
@@ -152,6 +186,15 @@ type Result struct {
 	Latency stats.Summary
 	// PerMessage pools every measured message across replications.
 	PerMessage stats.Summary
+	// Dist is the full pooled latency distribution behind PerMessage,
+	// merged in canonical replication order: quantiles, histograms and
+	// early/late splits of the same observations. It exposes the shape
+	// that a mean with a confidence interval cannot — the crash and
+	// suspicion scenarios' split into an early (failure-free latency) and
+	// a late (detection- or view-change-delayed) population.
+	Dist stats.Collector
+	// Quantiles snapshots Dist's order statistics (P50/P90/P99).
+	Quantiles stats.Quantiles
 	// Messages is the total number of measured (delivered) messages.
 	Messages int
 	// Undelivered counts measured messages never delivered within the
@@ -178,6 +221,9 @@ type cluster struct {
 	bcast []func(body any) proto.MsgID
 	// onDeliver is invoked for every A-delivery at every process.
 	onDeliver func(p proto.PID, id proto.MsgID)
+	// onBroadcast, if non-nil, is invoked for every A-broadcast issued
+	// through broadcast() — the feed of BroadcastObservers.
+	onBroadcast func(sender proto.PID, id proto.MsgID)
 	// broadcasts and deliveredAt0 are the backlog accounting used for
 	// divergence detection: every broadcast issued through broadcast()
 	// versus deliveries observed at process 0 (always alive in steady
@@ -191,7 +237,11 @@ type cluster struct {
 // bcast directly.
 func (c *cluster) broadcast(sender int, body any) proto.MsgID {
 	c.broadcasts++
-	return c.bcast[sender](body)
+	id := c.bcast[sender](body)
+	if c.onBroadcast != nil {
+		c.onBroadcast(proto.PID(sender), id)
+	}
+	return id
 }
 
 // backlog returns the number of broadcasts not yet delivered at p0.
@@ -206,7 +256,14 @@ func newCluster(cfg Config, seed uint64) *cluster {
 		Slot:   time.Millisecond,
 	}
 	rng := sim.NewRand(seed)
-	sys := proto.NewSystem(eng, netCfg, cfg.QoS, rng)
+	qos := cfg.QoS
+	if cfg.Detector != nil {
+		// The concrete heartbeat detector replaces the abstract model:
+		// silence the modelled detectors so QoS is genuinely ignored and a
+		// Detector point is bit-identical whatever QoS it inherited.
+		qos = fd.QoS{}
+	}
+	sys := proto.NewSystem(eng, netCfg, qos, rng)
 	c := &cluster{eng: eng, sys: sys, bcast: make([]func(any) proto.MsgID, cfg.N)}
 
 	crashed := make(map[proto.PID]bool, len(cfg.Crashed))
@@ -230,23 +287,41 @@ func newCluster(cfg Config, seed uint64) *cluster {
 				c.onDeliver(pid, id)
 			}
 		}
-		switch cfg.Algorithm {
-		case FD:
-			proc := ctabcast.New(sys.Proc(pid), ctabcast.Config{
-				Deliver:  deliver,
-				Renumber: !cfg.DisableRenumber,
-			})
-			sys.SetHandler(pid, proc)
-			c.bcast[p] = proc.ABroadcast
-		case GM, GMNonUniform:
-			proc := seqabcast.New(sys.Proc(pid), seqabcast.Config{
-				Deliver:        deliver,
-				Uniform:        cfg.Algorithm == GM,
-				InitialMembers: members,
-			})
-			sys.SetHandler(pid, proc)
-			c.bcast[p] = proc.ABroadcast
+		// build constructs the algorithm endpoint against rt and returns
+		// the handler plus the broadcast entry point; rt is the plain
+		// process runtime, or the heartbeat wrapper's when Detector is set.
+		build := func(rt proto.Runtime) (proto.Handler, func(any) proto.MsgID) {
+			switch cfg.Algorithm {
+			case FD:
+				proc := ctabcast.New(rt, ctabcast.Config{
+					Deliver:  deliver,
+					Renumber: !cfg.DisableRenumber,
+				})
+				return proc, proc.ABroadcast
+			default: // GM, GMNonUniform; validate() excluded the rest
+				proc := seqabcast.New(rt, seqabcast.Config{
+					Deliver:        deliver,
+					Uniform:        cfg.Algorithm == GM,
+					InitialMembers: members,
+				})
+				return proc, proc.ABroadcast
+			}
 		}
+		if hb := cfg.Detector; hb != nil {
+			var bcast func(any) proto.MsgID
+			w := hbfd.Wrap(sys.Proc(pid), hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
+				func(rt proto.Runtime) proto.Handler {
+					h, bc := build(rt)
+					bcast = bc
+					return h
+				})
+			sys.SetHandler(pid, w)
+			c.bcast[p] = bcast
+			continue
+		}
+		handler, bcast := build(sys.Proc(pid))
+		sys.SetHandler(pid, handler)
+		c.bcast[p] = bcast
 	}
 	for _, p := range cfg.Crashed {
 		sys.PreCrash(p)
@@ -305,6 +380,11 @@ type TransientResult struct {
 	// Overhead is Latency minus the detection time TD, the quantity
 	// Fig. 8 plots.
 	Overhead stats.Summary
+	// Dist is the probe latency distribution across replications, merged
+	// in canonical replication order (ms).
+	Dist stats.Collector
+	// Quantiles snapshots Dist's order statistics (P50/P90/P99).
+	Quantiles stats.Quantiles
 	// Lost counts replications whose probe was never delivered.
 	Lost int
 }

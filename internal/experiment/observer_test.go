@@ -1,0 +1,313 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+)
+
+// countingObserver records every event kind the chain can feed it.
+type countingObserver struct {
+	deliveries, broadcasts, netEvents int
+}
+
+func (o *countingObserver) ObserveDelivery(Delivery)          { o.deliveries++ }
+func (o *countingObserver) ObserveBroadcast(Broadcast)        { o.broadcasts++ }
+func (o *countingObserver) ObserveNet(ev netmodel.TraceEvent) { o.netEvents++ }
+
+// TestObserverChainFeedsAllEventKinds runs one serial steady point with a
+// full-surface observer and checks each event stream arrives and is
+// consistent with the run's own accounting.
+func TestObserverChainFeedsAllEventKinds(t *testing.T) {
+	obs := make(map[int]*countingObserver)
+	cfg := Config{
+		Algorithm:    FD,
+		N:            3,
+		Throughput:   50,
+		Warmup:       200 * time.Millisecond,
+		Measure:      time.Second,
+		Drain:        5 * time.Second,
+		Replications: 2,
+		Observers: []ObserverFactory{
+			func(point, rep int, cfg Config) Observer {
+				o := &countingObserver{}
+				obs[rep] = o
+				return o
+			},
+		},
+	}
+	res := (&Runner{Workers: 1}).Steady(cfg)
+	if !res.Stable {
+		t.Fatalf("unstable run: %+v", res)
+	}
+	if len(obs) != 2 {
+		t.Fatalf("factory built %d observers, want one per replication", len(obs))
+	}
+	for rep, o := range obs {
+		if o.broadcasts == 0 || o.deliveries == 0 || o.netEvents == 0 {
+			t.Fatalf("rep %d: events = %+v, want all three streams", rep, *o)
+		}
+		// Every broadcast is delivered at all 3 live processes.
+		if o.deliveries != 3*o.broadcasts {
+			t.Fatalf("rep %d: %d deliveries for %d broadcasts, want 3x", rep, o.deliveries, o.broadcasts)
+		}
+		if o.netEvents < o.broadcasts {
+			t.Fatalf("rep %d: %d net events for %d broadcasts", rep, o.netEvents, o.broadcasts)
+		}
+	}
+}
+
+// TestNilObserverFactorySkipped keeps a factory that declines (returns
+// nil) from crashing the chain.
+func TestNilObserverFactorySkipped(t *testing.T) {
+	cfg := Config{
+		Algorithm:    FD,
+		N:            3,
+		Throughput:   20,
+		Warmup:       200 * time.Millisecond,
+		Measure:      500 * time.Millisecond,
+		Drain:        5 * time.Second,
+		Replications: 1,
+		Observers: []ObserverFactory{
+			func(int, int, Config) Observer { return nil },
+		},
+	}
+	if res := RunSteady(cfg); !res.Stable {
+		t.Fatalf("unstable run with nil observer: %+v", res)
+	}
+}
+
+// TestLatencyDistComposesWithSteady checks the cross-cutting latency
+// observer against the scenario's own measurement: the observer sees at
+// least the measured messages (it also sees warmup and drain traffic)
+// and its quantiles respect the physical floor.
+func TestLatencyDistComposesWithSteady(t *testing.T) {
+	ld := NewLatencyDist()
+	cfg := Config{
+		Algorithm:    FD,
+		N:            3,
+		Throughput:   50,
+		Warmup:       200 * time.Millisecond,
+		Measure:      time.Second,
+		Drain:        5 * time.Second,
+		Replications: 2,
+		Observers:    []ObserverFactory{ld.Observer},
+	}
+	res := RunSteady(cfg)
+	if !res.Stable {
+		t.Fatalf("unstable run: %+v", res)
+	}
+	d := ld.Dist(0)
+	if d.N() < res.Messages {
+		t.Fatalf("observer saw %d latencies, scenario measured %d", d.N(), res.Messages)
+	}
+	q := ld.Quantiles(0)
+	if q.Min < 7 {
+		t.Fatalf("observer min latency %v below the 7 ms physical floor", q.Min)
+	}
+	if q.P50 > q.P90 || q.P90 > q.P99 {
+		t.Fatalf("quantiles out of order: %+v", q)
+	}
+	if pts := ld.Points(); len(pts) != 1 || pts[0] != 0 {
+		t.Fatalf("Points = %v, want [0]", pts)
+	}
+	if unseen := ld.Dist(42); unseen.N() != 0 {
+		t.Fatalf("unobserved point has %d latencies", unseen.N())
+	}
+}
+
+// TestLatencyDistComposesWithTransient attaches the observer to the
+// crash-transient scenario — the composition the old Scenario.Observe
+// could not express — and checks it captures the background traffic's
+// distribution around the crash.
+func TestLatencyDistComposesWithTransient(t *testing.T) {
+	ld := NewLatencyDist()
+	cfg := TransientConfig{
+		Config: Config{
+			Algorithm:    FD,
+			N:            3,
+			Throughput:   50,
+			QoS:          fd.QoS{TD: 5 * time.Millisecond},
+			Warmup:       300 * time.Millisecond,
+			Drain:        5 * time.Second,
+			Replications: 2,
+			Observers:    []ObserverFactory{ld.Observer},
+		},
+		Crash:  0,
+		Sender: 1,
+	}
+	res := RunTransient(cfg)
+	if res.Lost > 0 {
+		t.Fatalf("lost probes: %+v", res)
+	}
+	d := ld.Dist(0)
+	// The scenario measures 1 probe per replication; the observer sees
+	// the whole background workload too.
+	if d.N() <= 2 {
+		t.Fatalf("observer saw only %d latencies, expected background traffic", d.N())
+	}
+	// The probe's latency (crash recovery) must be inside the observed
+	// distribution's range.
+	if res.Latency.Mean < d.Quantile(0) || res.Latency.Mean > d.Quantile(1) {
+		t.Fatalf("probe latency %v outside observed range [%v, %v]",
+			res.Latency.Mean, d.Quantile(0), d.Quantile(1))
+	}
+}
+
+// TestLatencyDistDeterministicAcrossWorkers pins the observer's merged
+// distributions to the same bits at any worker count.
+func TestLatencyDistDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []float64 {
+		ld := NewLatencyDist()
+		sweep := Sweep{
+			Base: Config{
+				Algorithm:    FD,
+				N:            3,
+				Seed:         17,
+				Warmup:       200 * time.Millisecond,
+				Measure:      time.Second,
+				Drain:        5 * time.Second,
+				Replications: 3,
+				Observers:    []ObserverFactory{ld.Observer},
+			},
+			Algorithms:  []Algorithm{FD, GM},
+			Throughputs: []float64{30, 150},
+		}
+		(&Runner{Workers: workers}).Sweep(sweep)
+		var all []float64
+		for _, p := range ld.Points() {
+			d := ld.Dist(p)
+			all = append(all, d.Values()...)
+		}
+		return all
+	}
+	serial, parallel := run(1), run(6)
+	if len(serial) == 0 || len(serial) != len(parallel) {
+		t.Fatalf("latency streams differ in size: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("latency %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestDetectorAxisEndToEnd drives the concrete heartbeat detector
+// through the Runner: the sweep's heartbeat point must run, stay stable,
+// and show the detector's traffic in its latency (heartbeats contend for
+// the same wire).
+func TestDetectorAxisEndToEnd(t *testing.T) {
+	sweep := Sweep{
+		Base: Config{
+			Algorithm:    FD,
+			N:            3,
+			Throughput:   100,
+			Warmup:       300 * time.Millisecond,
+			Measure:      2 * time.Second,
+			Drain:        8 * time.Second,
+			Replications: 2,
+		},
+		Detectors: []*Heartbeat{nil, {Interval: 5 * time.Millisecond, Timeout: 25 * time.Millisecond}},
+	}
+	var r Runner
+	res := r.Sweep(sweep)
+	if len(res) != 2 {
+		t.Fatalf("detector axis expanded to %d points", len(res))
+	}
+	qos, hb := res[0], res[1]
+	if qos.Config.Detector != nil || hb.Config.Detector == nil {
+		t.Fatalf("axis order wrong: %+v / %+v", qos.Config.Detector, hb.Config.Detector)
+	}
+	if !qos.Stable || !hb.Stable {
+		t.Fatalf("unstable points: qos=%v hb=%v", qos.Stable, hb.Stable)
+	}
+	// 3 processes beating every 5 ms add 600 multicasts/s to a wire that
+	// also carries the protocol: latency must visibly rise.
+	if hb.Latency.Mean <= qos.Latency.Mean {
+		t.Fatalf("heartbeat contention invisible: hb %v <= qos %v",
+			hb.Latency.Mean, qos.Latency.Mean)
+	}
+}
+
+// TestDetectorCrashDetection checks the heartbeat detector actually
+// detects: a crash-steady point under the heartbeat FD must still
+// deliver (survivors suspect the dead process by heartbeat silence).
+func TestDetectorCrashDetection(t *testing.T) {
+	cfg := Config{
+		Algorithm:    GM,
+		N:            3,
+		Throughput:   30,
+		Crashed:      []proto.PID{2},
+		Detector:     &Heartbeat{Interval: 5 * time.Millisecond, Timeout: 25 * time.Millisecond},
+		Warmup:       300 * time.Millisecond,
+		Measure:      time.Second,
+		Drain:        8 * time.Second,
+		Replications: 2,
+	}
+	res := RunSteady(cfg)
+	if !res.Stable || res.Messages == 0 {
+		t.Fatalf("heartbeat crash-steady run failed: %+v", res)
+	}
+}
+
+// TestDetectorIgnoresQoS pins the documented precedence: when Detector
+// selects the concrete heartbeat model, the QoS field is ignored, so a
+// Sweep can cross a QoS axis with a Detectors axis and the heartbeat
+// points stay bit-identical whatever QoS they inherited.
+func TestDetectorIgnoresQoS(t *testing.T) {
+	base := Config{
+		Algorithm:    FD,
+		N:            3,
+		Throughput:   30,
+		Detector:     &Heartbeat{Interval: 10 * time.Millisecond, Timeout: 30 * time.Millisecond},
+		Warmup:       200 * time.Millisecond,
+		Measure:      time.Second,
+		Drain:        5 * time.Second,
+		Replications: 2,
+	}
+	withQoS := base
+	withQoS.QoS = fd.QoS{TD: 10 * time.Millisecond, TMR: 100 * time.Millisecond, TM: 5 * time.Millisecond}
+	a, b := RunSteady(base), RunSteady(withQoS)
+	if !a.Stable || !b.Stable {
+		t.Fatalf("unstable heartbeat runs: %v / %v", a.Stable, b.Stable)
+	}
+	if !summariesBitIdentical(a.PerMessage, b.PerMessage) || a.Messages != b.Messages {
+		t.Fatalf("QoS leaked into a Detector point:\nzero QoS: %+v\nwith QoS: %+v", a.PerMessage, b.PerMessage)
+	}
+}
+
+// TestSweepPointsDetectorAxis checks the canonical expansion order with
+// the new innermost axis.
+func TestSweepPointsDetectorAxis(t *testing.T) {
+	hb := &Heartbeat{Interval: 10 * time.Millisecond}
+	s := Sweep{
+		Base:        Config{Algorithm: FD, N: 3, Throughput: 10},
+		Throughputs: []float64{10, 100},
+		Detectors:   []*Heartbeat{nil, hb},
+	}
+	pts := s.Points()
+	if len(pts) != 4 {
+		t.Fatalf("2x2 grid expanded to %d points", len(pts))
+	}
+	want := []struct {
+		thr float64
+		det *Heartbeat
+	}{
+		{10, nil}, {10, hb}, {100, nil}, {100, hb},
+	}
+	for i, w := range want {
+		if pts[i].Throughput != w.thr || pts[i].Detector != w.det {
+			t.Fatalf("point %d = (T=%v, det=%v), want (T=%v, det=%v)",
+				i, pts[i].Throughput, pts[i].Detector, w.thr, w.det)
+		}
+	}
+	// An unset axis inherits Base.Detector.
+	single := Sweep{Base: Config{Algorithm: FD, N: 3, Throughput: 10, Detector: hb}}.Points()
+	if len(single) != 1 || single[0].Detector != hb {
+		t.Fatalf("Base detector not inherited: %+v", single)
+	}
+}

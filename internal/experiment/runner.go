@@ -111,7 +111,7 @@ func (r *Runner) SteadyAll(cfgs []Config) []Result {
 		reps[i] = make([]RepStats, cfg.Replications)
 	}
 	r.runGrid(counts, func(point, rep int) {
-		reps[point][rep] = runReplication(pts[point], rep, newSteadyScenario(pts[point], rep))
+		reps[point][rep] = runReplication(pts[point], point, rep, newSteadyScenario(pts[point], rep))
 	})
 	out := make([]Result, len(pts))
 	for i := range pts {
@@ -144,7 +144,9 @@ func (r *Runner) TransientAll(cfgs []TransientConfig) []TransientResult {
 		reps[i] = make([]RepStats, cfg.Replications)
 	}
 	r.runGrid(counts, func(point, rep int) {
-		reps[point][rep] = runReplication(pts[point].Config, rep, CrashTransient(pts[point], rep))
+		cfg := pts[point].Config
+		cfg.transient = &transientInfo{crash: pts[point].Crash, sender: pts[point].Sender}
+		reps[point][rep] = runReplication(cfg, point, rep, CrashTransient(pts[point], rep))
 	})
 	out := make([]TransientResult, len(pts))
 	for i := range pts {
@@ -195,9 +197,10 @@ func (r *Runner) WorstCaseTransient(cfg TransientConfig, sweepCrash bool) Transi
 }
 
 // Sweep describes a grid of steady-state experiment points over
-// Algorithm × N × Throughput × QoS × Lambda × Crashed. Base supplies
-// every other field; a nil axis inherits the Base value, so a Sweep with
-// all axes nil is the single point Base.
+// Algorithm × N × Throughput × QoS × Lambda × Crashed × Detector. Base
+// supplies every other field; a nil axis inherits the Base value, so a
+// Sweep with all axes nil is the single point Base. Observers attached
+// to Base see every point of the grid, keyed by its canonical index.
 type Sweep struct {
 	Base        Config
 	Algorithms  []Algorithm
@@ -212,10 +215,17 @@ type Sweep struct {
 	// one Config.Crashed list (Fig. 5 varies the number of crashed
 	// processes). A nil entry is the no-crash point.
 	CrashSets [][]proto.PID
+	// Detectors sweeps the failure-detector implementation: each entry is
+	// one Config.Detector — a concrete heartbeat tuning, or nil for the
+	// abstract QoS model. The axis compares the modelled detector with
+	// real heartbeat traffic on the contended network at otherwise
+	// identical points.
+	Detectors []*Heartbeat
 }
 
 // Points expands the grid in canonical order: Algorithm outermost, then
-// N, then Throughput, then QoS, then Lambda, then CrashSet innermost.
+// N, then Throughput, then QoS, then Lambda, then CrashSet, then
+// Detector innermost.
 func (s Sweep) Points() []Config {
 	algs := s.Algorithms
 	if len(algs) == 0 {
@@ -241,17 +251,23 @@ func (s Sweep) Points() []Config {
 	if len(crashes) == 0 {
 		crashes = [][]proto.PID{s.Base.Crashed}
 	}
-	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes))
+	dets := s.Detectors
+	if len(dets) == 0 {
+		dets = []*Heartbeat{s.Base.Detector}
+	}
+	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets))
 	for _, a := range algs {
 		for _, n := range ns {
 			for _, t := range thrs {
 				for _, q := range qos {
 					for _, l := range lambdas {
 						for _, cr := range crashes {
-							cfg := s.Base
-							cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
-							cfg.Lambda, cfg.Crashed = l, cr
-							out = append(out, cfg)
+							for _, det := range dets {
+								cfg := s.Base
+								cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
+								cfg.Lambda, cfg.Crashed, cfg.Detector = l, cr, det
+								out = append(out, cfg)
+							}
 						}
 					}
 				}
@@ -268,13 +284,16 @@ func (r *Runner) Sweep(s Sweep) []Result {
 }
 
 // aggregateSteady merges one point's replications, in replication order,
-// into the reported Result.
+// into the reported Result. The canonical merge order keeps every
+// statistic — means, and now quantiles and histograms through Dist —
+// bit-identical at any worker count.
 func aggregateSteady(cfg Config, reps []RepStats) Result {
 	var repMeans stats.Sample
-	var pooled stats.Sample
+	var pooled stats.Collector
 	messages, undelivered := 0, 0
 	diverged := false
-	for _, rs := range reps {
+	for i := range reps {
+		rs := &reps[i]
 		if rs.Diverged {
 			diverged = true
 		}
@@ -283,12 +302,14 @@ func aggregateSteady(cfg Config, reps []RepStats) Result {
 		if rs.Latencies.N() > 0 {
 			repMeans.Add(rs.Latencies.Mean())
 		}
-		pooled.AddSample(rs.Latencies)
+		pooled.Merge(&rs.Latencies)
 	}
 	return Result{
 		Config:      cfg,
 		Latency:     repMeans.Summarize(),
 		PerMessage:  pooled.Summarize(),
+		Dist:        pooled,
+		Quantiles:   pooled.Quantiles(),
 		Messages:    messages,
 		Undelivered: undelivered,
 		Stable:      undelivered == 0 && messages > 0 && !diverged,
@@ -299,10 +320,12 @@ func aggregateSteady(cfg Config, reps []RepStats) Result {
 // aggregateTransient merges one point's replications, in replication
 // order, into the reported TransientResult.
 func aggregateTransient(cfg TransientConfig, reps []RepStats) TransientResult {
-	var lat, overhead stats.Sample
+	var lat stats.Collector
+	var overhead stats.Sample
 	lost := 0
 	tdMs := float64(cfg.QoS.TD) / float64(time.Millisecond)
-	for _, rs := range reps {
+	for i := range reps {
+		rs := &reps[i]
 		if rs.Latencies.N() == 0 {
 			lost++
 			continue
@@ -312,9 +335,11 @@ func aggregateTransient(cfg TransientConfig, reps []RepStats) TransientResult {
 		overhead.Add(l - tdMs)
 	}
 	return TransientResult{
-		Config:   cfg,
-		Latency:  lat.Summarize(),
-		Overhead: overhead.Summarize(),
-		Lost:     lost,
+		Config:    cfg,
+		Latency:   lat.Summarize(),
+		Overhead:  overhead.Summarize(),
+		Dist:      lat,
+		Quantiles: lat.Quantiles(),
+		Lost:      lost,
 	}
 }

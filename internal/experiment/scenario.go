@@ -3,6 +3,7 @@ package experiment
 import (
 	"time"
 
+	"repro/internal/netmodel"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -23,8 +24,10 @@ type Delivery struct {
 type RepStats struct {
 	// Latencies holds the replication's measured latencies in
 	// milliseconds: one per delivered tracked message (steady scenarios)
-	// or at most one probe latency (crash-transient).
-	Latencies stats.Sample
+	// or at most one probe latency (crash-transient). The collector
+	// carries the full distribution, so aggregation reports quantiles and
+	// histograms alongside the mean.
+	Latencies stats.Collector
 	// Undelivered counts awaited messages never delivered within the
 	// drain window.
 	Undelivered int
@@ -51,16 +54,20 @@ type phases struct {
 // Scenario is the per-replication behaviour of one benchmark scenario.
 // The shared replication engine (runReplication) owns cluster
 // construction, the measure/drain slicing and the DivergenceBacklog
-// abort; a scenario only installs load and faults, observes deliveries,
-// signals completion and collects statistics.
+// abort; a scenario only installs load and faults, observes deliveries
+// (it is the head of the replication's observer chain), signals
+// completion and collects statistics. Cross-cutting measurement that
+// composes with any scenario belongs in an Observer (Config.Observers),
+// not in a new scenario.
 type Scenario interface {
 	// Phases reports the replication's time structure to the engine.
 	Phases() phases
 	// Setup installs the replication's workload and scheduled faults on a
 	// freshly built cluster, before any virtual time elapses.
 	Setup(c *cluster)
-	// Observe is invoked for every A-delivery at every process.
-	Observe(d Delivery)
+	// Observer delivers every A-delivery at every process to the
+	// scenario, ahead of the configured observers.
+	Observer
 	// Done reports whether every awaited delivery has been observed, so
 	// the drain phase can stop early.
 	Done() bool
@@ -69,15 +76,55 @@ type Scenario interface {
 }
 
 // runReplication is the shared replication engine: it builds the cluster,
-// runs the measure phase in divergence-checked slices, then drains until
-// the scenario reports Done or the drain budget runs out. Each invocation
-// is an independent deterministic simulation keyed by (cfg.Seed, rep), so
-// replications can run on any goroutine in any order.
-func runReplication(cfg Config, rep int, s Scenario) RepStats {
+// attaches the observer chain (scenario first, then one instance per
+// Config.Observers factory), runs the measure phase in divergence-checked
+// slices, then drains until the scenario reports Done or the drain budget
+// runs out. Each invocation is an independent deterministic simulation
+// keyed by (cfg.Seed, rep), so replications can run on any goroutine in
+// any order; point and rep only name the replication to its observers.
+func runReplication(cfg Config, point, rep int, s Scenario) RepStats {
 	c := newCluster(cfg, repSeed(cfg.Seed, rep))
-	c.onDeliver = func(p proto.PID, id proto.MsgID) {
-		s.Observe(Delivery{Process: p, ID: id, At: c.eng.Now()})
+
+	var observers []Observer
+	var bcastObservers []BroadcastObserver
+	var netObservers []NetObserver
+	for _, factory := range cfg.Observers {
+		o := factory(point, rep, cfg)
+		if o == nil {
+			continue
+		}
+		observers = append(observers, o)
+		if bo, ok := o.(BroadcastObserver); ok {
+			bcastObservers = append(bcastObservers, bo)
+		}
+		if no, ok := o.(NetObserver); ok {
+			netObservers = append(netObservers, no)
+		}
 	}
+
+	c.onDeliver = func(p proto.PID, id proto.MsgID) {
+		d := Delivery{Process: p, ID: id, At: c.eng.Now()}
+		s.ObserveDelivery(d)
+		for _, o := range observers {
+			o.ObserveDelivery(d)
+		}
+	}
+	if len(bcastObservers) > 0 {
+		c.onBroadcast = func(sender proto.PID, id proto.MsgID) {
+			b := Broadcast{Sender: sender, ID: id, At: c.eng.Now()}
+			for _, o := range bcastObservers {
+				o.ObserveBroadcast(b)
+			}
+		}
+	}
+	if len(netObservers) > 0 {
+		c.sys.Net.SetTrace(func(ev netmodel.TraceEvent) {
+			for _, o := range netObservers {
+				o.ObserveNet(ev)
+			}
+		})
+	}
+
 	s.Setup(c)
 	ph := s.Phases()
 
@@ -178,7 +225,7 @@ func (s *steadyScenario) Setup(c *cluster) {
 		})
 }
 
-func (s *steadyScenario) Observe(d Delivery) {
+func (s *steadyScenario) ObserveDelivery(d Delivery) {
 	if _, tracked := s.sent[d.ID]; tracked {
 		if _, seen := s.first[d.ID]; !seen {
 			s.first[d.ID] = d.At
@@ -246,7 +293,7 @@ func (t *transientScenario) Setup(c *cluster) {
 	})
 }
 
-func (t *transientScenario) Observe(d Delivery) {
+func (t *transientScenario) ObserveDelivery(d Delivery) {
 	if !t.delivered && d.ID == t.probe && t.probeSent > 0 {
 		t.delivered = true
 		t.probeDelivered = d.At

@@ -1,0 +1,336 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+)
+
+// Trace is a cross-cutting observer that streams every observed
+// replication to an io.Writer in a replayable text format, so any sweep
+// point can be re-run and inspected offline. Each replication records
+// its full configuration, every A-broadcast, every message lifecycle
+// point of the network model (send, wire, deliver, drop) and every
+// A-delivery, and closes with an FNV-1a digest of its delivery records.
+// Replay re-executes a trace's replications from the recorded
+// configurations and checks the digests match — the simulations are
+// deterministic in virtual time, so a trace replays identically on any
+// machine.
+//
+// Attach it by appending its Observer method to Config.Observers. Events
+// are buffered per replication; call Flush after the run to write the
+// buffers in canonical (point, replication) order, which makes the
+// output bit-identical at any Runner.Workers count.
+//
+// The format is line-oriented; times are virtual nanoseconds:
+//
+//	C <config JSON>                    replication header (see traceHeader)
+//	B <sender> <origin> <seq> <at>     A-broadcast
+//	N <stage> <from> <to> <at> <name>  network lifecycle point
+//	D <process> <origin> <seq> <at>    A-delivery
+//	E <fnv1a digest of the D records>  end of replication
+type Trace struct {
+	mu   sync.Mutex
+	w    io.Writer
+	reps map[repKey]*traceRep
+}
+
+// NewTrace creates a trace exporter writing to w.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: w, reps: make(map[repKey]*traceRep)}
+}
+
+// Observer is the ObserverFactory of the exporter: pass it in
+// Config.Observers.
+func (t *Trace) Observer(point, rep int, cfg Config) Observer {
+	r := &traceRep{}
+	hdr := headerFromConfig(cfg, point, rep)
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		// The header is plain numbers and slices; failure is a bug here.
+		panic(fmt.Sprintf("experiment: trace header: %v", err))
+	}
+	r.buf.WriteString("C ")
+	r.buf.Write(b)
+	r.buf.WriteByte('\n')
+	t.mu.Lock()
+	t.reps[repKey{point, rep}] = r
+	t.mu.Unlock()
+	return r
+}
+
+// Flush writes every buffered replication to the writer in canonical
+// (point, replication) order and drops the buffers. Call it once after
+// the run; a Trace can be reused for another run afterwards.
+func (t *Trace) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range t.sortedKeys() {
+		r := t.reps[k]
+		if _, err := t.w.Write(r.buf.Bytes()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(t.w, "E %016x\n", r.digest()); err != nil {
+			return err
+		}
+	}
+	t.reps = make(map[repKey]*traceRep)
+	return nil
+}
+
+// Digests returns the delivery digest of every buffered replication in
+// canonical (point, replication) order, without flushing.
+func (t *Trace) Digests() []TraceDigest {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceDigest, 0, len(t.reps))
+	for _, k := range t.sortedKeys() {
+		out = append(out, TraceDigest{Point: k.point, Rep: k.rep, Digest: t.reps[k].digest()})
+	}
+	return out
+}
+
+// sortedKeys returns the buffered replication keys in canonical order.
+// Callers must hold t.mu.
+func (t *Trace) sortedKeys() []repKey {
+	keys := make([]repKey, 0, len(t.reps))
+	for k := range t.reps {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].point != keys[j].point {
+			return keys[i].point < keys[j].point
+		}
+		return keys[i].rep < keys[j].rep
+	})
+	return keys
+}
+
+// TraceDigest names one replication's delivery digest.
+type TraceDigest struct {
+	Point, Rep int
+	Digest     uint64
+}
+
+// traceRep buffers one replication's records. It runs on the
+// replication's goroutine only; the Trace mutex guards only the registry.
+type traceRep struct {
+	buf    bytes.Buffer
+	dLines bytes.Buffer // delivery records only, the digested subset
+}
+
+func (r *traceRep) ObserveBroadcast(b Broadcast) {
+	fmt.Fprintf(&r.buf, "B %d %d %d %d\n", b.Sender, b.ID.Origin, b.ID.Seq, int64(b.At))
+}
+
+func (r *traceRep) ObserveDelivery(d Delivery) {
+	line := fmt.Sprintf("D %d %d %d %d\n", d.Process, d.ID.Origin, d.ID.Seq, int64(d.At))
+	r.buf.WriteString(line)
+	r.dLines.WriteString(line)
+}
+
+func (r *traceRep) ObserveNet(ev netmodel.TraceEvent) {
+	fmt.Fprintf(&r.buf, "N %s %d %d %d %s\n",
+		ev.Kind, ev.From, ev.To, int64(ev.At), netmodel.PayloadName(ev.Payload))
+}
+
+// digest folds the replication's delivery records into FNV-1a.
+func (r *traceRep) digest() uint64 {
+	h := fnv.New64a()
+	h.Write(r.dLines.Bytes())
+	return h.Sum64()
+}
+
+// traceHeader is the serialisable image of one replication's
+// configuration: enough to re-run it. Durations are nanoseconds.
+type traceHeader struct {
+	Kind            string  `json:"kind"` // "steady" or "transient"
+	Point           int     `json:"point"`
+	Rep             int     `json:"rep"`
+	Algorithm       int     `json:"alg"`
+	N               int     `json:"n"`
+	Throughput      float64 `json:"throughput"`
+	Lambda          float64 `json:"lambda,omitempty"`
+	TD              int64   `json:"td,omitempty"`
+	TMR             int64   `json:"tmr,omitempty"`
+	TM              int64   `json:"tm,omitempty"`
+	Crashed         []int   `json:"crashed,omitempty"`
+	DisableRenumber bool    `json:"disableRenumber,omitempty"`
+	Seed            uint64  `json:"seed"`
+	Warmup          int64   `json:"warmup"`
+	Measure         int64   `json:"measure"`
+	Drain           int64   `json:"drain"`
+	Replications    int     `json:"replications"`
+	HbInterval      int64   `json:"hbInterval,omitempty"`
+	HbTimeout       int64   `json:"hbTimeout,omitempty"`
+	Crash           int     `json:"crash,omitempty"`
+	Sender          int     `json:"sender,omitempty"`
+}
+
+// headerFromConfig captures cfg (already defaulted by the runner) for
+// the trace: kind "steady", or kind "transient" with the crash/sender
+// pair when the runner marked the config as a transient replication.
+func headerFromConfig(cfg Config, point, rep int) traceHeader {
+	h := traceHeader{
+		Kind:            "steady",
+		Point:           point,
+		Rep:             rep,
+		Algorithm:       int(cfg.Algorithm),
+		N:               cfg.N,
+		Throughput:      cfg.Throughput,
+		Lambda:          cfg.Lambda,
+		TD:              int64(cfg.QoS.TD),
+		TMR:             int64(cfg.QoS.TMR),
+		TM:              int64(cfg.QoS.TM),
+		DisableRenumber: cfg.DisableRenumber,
+		Seed:            cfg.Seed,
+		Warmup:          int64(cfg.Warmup),
+		Measure:         int64(cfg.Measure),
+		Drain:           int64(cfg.Drain),
+		Replications:    cfg.Replications,
+	}
+	for _, p := range cfg.Crashed {
+		h.Crashed = append(h.Crashed, int(p))
+	}
+	if cfg.Detector != nil {
+		h.HbInterval = int64(cfg.Detector.Interval)
+		h.HbTimeout = int64(cfg.Detector.Timeout)
+		if h.HbInterval == 0 {
+			// Make the default explicit so the header is self-contained.
+			h.HbInterval = int64(10 * time.Millisecond)
+		}
+		if h.HbTimeout == 0 {
+			h.HbTimeout = 3 * h.HbInterval
+		}
+	}
+	if ti := cfg.transient; ti != nil {
+		h.Kind = "transient"
+		h.Crash = int(ti.crash)
+		h.Sender = int(ti.sender)
+	}
+	return h
+}
+
+// configFromHeader rebuilds the replication's Config (no observers).
+func configFromHeader(h traceHeader) Config {
+	cfg := Config{
+		Algorithm:       Algorithm(h.Algorithm),
+		N:               h.N,
+		Throughput:      h.Throughput,
+		Lambda:          h.Lambda,
+		DisableRenumber: h.DisableRenumber,
+		Seed:            h.Seed,
+		Warmup:          time.Duration(h.Warmup),
+		Measure:         time.Duration(h.Measure),
+		Drain:           time.Duration(h.Drain),
+		Replications:    h.Replications,
+	}
+	cfg.QoS.TD = time.Duration(h.TD)
+	cfg.QoS.TMR = time.Duration(h.TMR)
+	cfg.QoS.TM = time.Duration(h.TM)
+	for _, p := range h.Crashed {
+		cfg.Crashed = append(cfg.Crashed, proto.PID(p))
+	}
+	if h.HbInterval != 0 || h.HbTimeout != 0 {
+		cfg.Detector = &Heartbeat{
+			Interval: time.Duration(h.HbInterval),
+			Timeout:  time.Duration(h.HbTimeout),
+		}
+	}
+	return cfg
+}
+
+// ReplayResult reports one replayed replication.
+type ReplayResult struct {
+	Point, Rep int
+	// Recorded is the delivery digest stored in the trace; Replayed is
+	// the digest of the re-run. Match means they agree bit for bit.
+	Recorded, Replayed uint64
+	Match              bool
+}
+
+// Replay re-executes every replication recorded in a trace from its
+// embedded configuration and compares the delivery digests. The
+// underlying simulations are deterministic, so a mismatch means either
+// the trace was edited or the simulator's behaviour changed since the
+// trace was recorded.
+func Replay(r io.Reader) ([]ReplayResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []ReplayResult
+	var hdr *traceHeader
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "C "):
+			if hdr != nil {
+				return out, fmt.Errorf("experiment: trace replication (point %d, rep %d) has no E record", hdr.Point, hdr.Rep)
+			}
+			var h traceHeader
+			if err := json.Unmarshal([]byte(line[2:]), &h); err != nil {
+				return out, fmt.Errorf("experiment: bad trace header: %w", err)
+			}
+			hdr = &h
+		case strings.HasPrefix(line, "E "):
+			if hdr == nil {
+				return out, fmt.Errorf("experiment: E record without a preceding C header")
+			}
+			var recorded uint64
+			if _, err := fmt.Sscanf(line[2:], "%x", &recorded); err != nil {
+				return out, fmt.Errorf("experiment: bad digest %q: %w", line[2:], err)
+			}
+			replayed, err := replayOne(*hdr)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, ReplayResult{
+				Point:    hdr.Point,
+				Rep:      hdr.Rep,
+				Recorded: recorded,
+				Replayed: replayed,
+				Match:    recorded == replayed,
+			})
+			hdr = nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if hdr != nil {
+		return out, fmt.Errorf("experiment: trace ends mid-replication (point %d, rep %d)", hdr.Point, hdr.Rep)
+	}
+	return out, nil
+}
+
+// replayOne re-runs a single recorded replication and returns the
+// delivery digest of the re-run.
+func replayOne(h traceHeader) (uint64, error) {
+	cfg := configFromHeader(h)
+	if err := cfg.validate(); err != nil {
+		return 0, fmt.Errorf("experiment: trace header invalid: %w", err)
+	}
+	rec := &traceRep{}
+	cfg.Observers = []ObserverFactory{
+		func(int, int, Config) Observer { return rec },
+	}
+	switch h.Kind {
+	case "steady":
+		runReplication(cfg, h.Point, h.Rep, newSteadyScenario(cfg, h.Rep))
+	case "transient":
+		tc := TransientConfig{Config: cfg, Crash: proto.PID(h.Crash), Sender: proto.PID(h.Sender)}
+		runReplication(cfg, h.Point, h.Rep, CrashTransient(tc, h.Rep))
+	default:
+		return 0, fmt.Errorf("experiment: unknown trace kind %q", h.Kind)
+	}
+	return rec.digest(), nil
+}

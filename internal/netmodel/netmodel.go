@@ -110,6 +110,18 @@ type TraceEvent struct {
 	Payload any
 }
 
+// PayloadName renders a trace payload compactly, preferring the
+// payload's own String method (protocol wrappers name their inner
+// message). It is the canonical payload rendering of every trace
+// consumer — the interactive cluster facade and the experiment layer's
+// trace export use it, so their formats agree.
+func PayloadName(p any) string {
+	if s, ok := p.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
 // Counters aggregates network activity, used by load diagnostics and by
 // the FD-vs-GM message-pattern equivalence tests.
 type Counters struct {

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	var c Collector
+	for _, x := range []float64{15, 20, 35, 40, 50} {
+		c.Add(x)
+	}
+	if c.N() != 5 {
+		t.Fatalf("N = %d, want 5", c.N())
+	}
+	if c.Mean() != 32 {
+		t.Fatalf("Mean = %v, want 32", c.Mean())
+	}
+	if got := c.Quantile(0.5); got != 35 {
+		t.Fatalf("median = %v, want 35", got)
+	}
+	q := c.Quantiles()
+	if q.N != 5 || q.Min != 15 || q.Max != 50 || q.P50 != 35 {
+		t.Fatalf("Quantiles = %+v", q)
+	}
+	if q.P90 <= q.P50 || q.P99 < q.P90 || q.P99 > q.Max {
+		t.Fatalf("quantiles out of order: %+v", q)
+	}
+	vals := c.Values()
+	if len(vals) != 5 || vals[0] != 15 || vals[4] != 50 {
+		t.Fatalf("Values = %v", vals)
+	}
+	vals[0] = -1 // must not alias the collector's storage
+	if c.Values()[0] != 15 {
+		t.Fatal("Values aliases internal storage")
+	}
+	if s := c.Summarize(); s.N != 5 || s.Mean != 32 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+}
+
+// TestCollectorEmptyContract pins the documented zero-value behaviour:
+// N = 0, NaN statistics, and Merge as the identity in both directions.
+func TestCollectorEmptyContract(t *testing.T) {
+	var c Collector
+	if c.N() != 0 {
+		t.Fatalf("N = %d, want 0", c.N())
+	}
+	for name, v := range map[string]float64{
+		"Mean": c.Mean(), "Quantile": c.Quantile(0.5),
+		"Min": c.Quantiles().Min, "P50": c.Quantiles().P50,
+		"P99": c.Quantiles().P99, "Max": c.Quantiles().Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Fatalf("%s of empty collector = %v, want NaN", name, v)
+		}
+	}
+	if c.Quantiles().String() != "empty" {
+		t.Fatalf("empty Quantiles string = %q", c.Quantiles().String())
+	}
+	if len(c.Values()) != 0 {
+		t.Fatalf("Values of empty collector = %v", c.Values())
+	}
+
+	var full Collector
+	full.Add(3)
+	full.Add(7)
+	full.Merge(&c) // non-empty += empty: identity
+	if full.N() != 2 || full.Mean() != 5 {
+		t.Fatalf("merge of empty changed collector: %+v", full.Summarize())
+	}
+	var dst Collector
+	dst.Merge(&full) // empty += non-empty: exact copy
+	if dst.N() != 2 || dst.Mean() != 5 || dst.Quantile(0) != 3 {
+		t.Fatalf("merge into empty lost data: %+v", dst.Summarize())
+	}
+	var a, b Collector
+	a.Merge(&b) // empty += empty stays empty
+	if a.N() != 0 || !math.IsNaN(a.Mean()) {
+		t.Fatal("empty += empty is no longer empty")
+	}
+}
+
+// TestCollectorMergeMatchesSequential is the determinism the experiment
+// runner relies on: merging per-chunk collectors in chunk order must be
+// bit-identical to accumulating the whole stream into one collector.
+func TestCollectorMergeMatchesSequential(t *testing.T) {
+	data := []float64{9.5, 2.25, 3, 8, 13, 0.125, -4, 9, 9, 2, 77, 1e-3}
+	var whole Collector
+	for _, x := range data {
+		whole.Add(x)
+	}
+	// Three chunks, one of them empty, merged in order.
+	var a, b, c, empty Collector
+	for _, x := range data[:5] {
+		a.Add(x)
+	}
+	for _, x := range data[5:] {
+		b.Add(x)
+	}
+	c.Merge(&a)
+	c.Merge(&empty)
+	c.Merge(&b)
+	if c.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", c.N(), whole.N())
+	}
+	cv, wv := c.Values(), whole.Values()
+	for i := range wv {
+		if math.Float64bits(cv[i]) != math.Float64bits(wv[i]) {
+			t.Fatalf("value %d = %v, want %v (order not preserved)", i, cv[i], wv[i])
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if math.Float64bits(c.Quantile(q)) != math.Float64bits(whole.Quantile(q)) {
+			t.Fatalf("quantile %v differs after merge: %v vs %v", q, c.Quantile(q), whole.Quantile(q))
+		}
+	}
+	ch, wh := c.Histogram(-5, 80, 17), whole.Histogram(-5, 80, 17)
+	for i := range wh.Counts {
+		if ch.Counts[i] != wh.Counts[i] {
+			t.Fatalf("histogram bin %d = %d, want %d", i, ch.Counts[i], wh.Counts[i])
+		}
+	}
+}
+
+func TestCollectorHistogram(t *testing.T) {
+	var c Collector
+	for _, x := range []float64{1, 2, 3, 11, 12, 25} {
+		c.Add(x)
+	}
+	h := c.Histogram(0, 30, 3)
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+}
+
+func TestCollectorSplitAt(t *testing.T) {
+	var c Collector
+	// A bimodal population: the paper's early/late latency split.
+	for _, x := range []float64{8, 9, 8.5, 9.5, 8, 110, 140, 9} {
+		c.Add(x)
+	}
+	early, late := c.SplitAt(50)
+	if early.N() != 6 || late.N() != 2 {
+		t.Fatalf("split = %d early, %d late; want 6 and 2", early.N(), late.N())
+	}
+	if early.Quantiles().Max >= 50 || late.Quantiles().Min < 50 {
+		t.Fatalf("split boundaries wrong: early max %v, late min %v",
+			early.Quantiles().Max, late.Quantiles().Min)
+	}
+	// Order preserved within each side.
+	if v := late.Values(); v[0] != 110 || v[1] != 140 {
+		t.Fatalf("late values = %v", v)
+	}
+	// Threshold is inclusive on the late side.
+	e2, l2 := c.SplitAt(110)
+	if e2.N() != 6 || l2.N() != 2 {
+		t.Fatalf("threshold not inclusive-late: %d/%d", e2.N(), l2.N())
+	}
+	if s := c.Quantiles().String(); s == "" || s == "empty" {
+		t.Fatalf("non-empty Quantiles string = %q", s)
+	}
+}
+
+// TestSampleEmptySummarize pins the empty-sample contract end to end
+// through Summarize, which aggregation code snapshots directly.
+func TestSampleEmptySummarize(t *testing.T) {
+	var s Sample
+	sum := s.Summarize()
+	if sum.N != 0 {
+		t.Fatalf("empty Summarize N = %d", sum.N)
+	}
+	for name, v := range map[string]float64{
+		"Mean": sum.Mean, "StdDev": sum.StdDev, "CI95": sum.CI95,
+		"Min": sum.Min, "Max": sum.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty Summarize %s = %v, want NaN", name, v)
+		}
+	}
+}

@@ -15,6 +15,14 @@ import (
 // Sample accumulates observations online with Welford's algorithm, so a
 // multi-million-message run needs O(1) memory for its mean and variance.
 // The zero value is an empty sample ready for use.
+//
+// Empty-sample contract: with no observations, N reports 0 and Mean, Min,
+// Max, Variance, StdDev, StdErr and CI95 all report NaN — never a
+// misleading zero. AddSample treats an empty operand as the identity in
+// either direction, so per-replication samples from replications that
+// measured nothing (all messages undelivered, or an aborted divergent
+// run) merge cleanly without poisoning the aggregate. Summarize of an
+// empty sample carries the same values: N = 0 and NaN statistics.
 type Sample struct {
 	n    int
 	mean float64
@@ -41,7 +49,9 @@ func (s *Sample) Add(x float64) {
 	s.m2 += delta * (x - s.mean)
 }
 
-// AddSample merges another sample into s (parallel Welford merge).
+// AddSample merges another sample into s (parallel Welford merge). An
+// empty operand is the identity: merging it changes nothing, and merging
+// anything into an empty s copies the operand exactly.
 func (s *Sample) AddSample(o Sample) {
 	if o.n == 0 {
 		return
@@ -202,6 +212,15 @@ func Quantile(data []float64, q float64) float64 {
 	sorted := make([]float64, len(data))
 	copy(sorted, data)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted reads the q-quantile from already-sorted data, so one
+// sort serves several quantiles (Collector.Quantiles).
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

@@ -29,11 +29,13 @@
 package repro
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/fd"
 	"repro/internal/proto"
+	"repro/internal/stats"
 )
 
 // Algorithm selects an atomic broadcast implementation.
@@ -98,8 +100,8 @@ func WorstCaseTransient(cfg TransientConfig, sweepCrash bool) TransientResult {
 type Runner = experiment.Runner
 
 // Sweep describes a grid of steady-state experiment points over
-// Algorithm × N × Throughput × QoS × Lambda × Crashed; unset axes
-// inherit the Base config.
+// Algorithm × N × Throughput × QoS × Lambda × Crashed × Detector; unset
+// axes inherit the Base config.
 type Sweep = experiment.Sweep
 
 // RunSweep runs every point of the grid on GOMAXPROCS workers and
@@ -116,6 +118,87 @@ func RunSweep(s Sweep) []Result {
 func RunSteadyAll(cfgs []Config) []Result {
 	var r Runner
 	return r.SteadyAll(cfgs)
+}
+
+// Collector is a mergeable latency distribution: Welford moments plus
+// every raw observation, supporting exact quantiles, histograms and the
+// early/late population split of the paper's crash and suspicion
+// figures. Result.Dist and TransientResult.Dist carry one per point.
+type Collector = stats.Collector
+
+// Quantiles snapshots a distribution's order statistics (min, P50, P90,
+// P99, max); every Result carries one for its point.
+type Quantiles = stats.Quantiles
+
+// Histogram counts observations into equal-width bins; build one from
+// any Collector via its Histogram method.
+type Histogram = stats.Histogram
+
+// Summary is a mean-centric snapshot (mean, standard deviation, 95%
+// confidence interval, extrema) — the paper's error-bar statistics.
+type Summary = stats.Summary
+
+// Observer receives a replication's A-deliveries; implementations that
+// also satisfy BroadcastObserver or NetObserver additionally receive
+// A-broadcasts and network-model lifecycle events. Observers compose
+// cross-cutting measurement with any scenario through Config.Observers.
+type Observer = experiment.Observer
+
+// BroadcastObserver is the optional sending-side interface of Observer.
+type BroadcastObserver = experiment.BroadcastObserver
+
+// NetObserver is the optional network-tracer interface of Observer.
+type NetObserver = experiment.NetObserver
+
+// ObserverFactory builds one Observer per replication; point indexes the
+// config within the executed batch (a Sweep's canonical point order) and
+// rep the replication. List factories in Config.Observers.
+type ObserverFactory = experiment.ObserverFactory
+
+// ObservedDelivery is the A-delivery event observers receive. (The
+// interactive Cluster API reports its own richer Delivery type.)
+type ObservedDelivery = experiment.Delivery
+
+// ObservedBroadcast is the A-broadcast event BroadcastObservers receive.
+type ObservedBroadcast = experiment.Broadcast
+
+// LatencyDist is a cross-cutting observer pooling broadcast-to-first-
+// delivery latencies per sweep point into mergeable collectors; its
+// distributions are bit-identical at any Runner.Workers count.
+type LatencyDist = experiment.LatencyDist
+
+// NewLatencyDist creates a latency-distribution observer; attach it by
+// appending its Observer method to Config.Observers.
+func NewLatencyDist() *LatencyDist { return experiment.NewLatencyDist() }
+
+// Trace is a cross-cutting observer streaming every replication —
+// configuration, broadcasts, network lifecycle events and deliveries —
+// to an io.Writer in a replayable format; ReplayTrace re-runs a trace
+// and verifies the delivery digests. Call Flush after the run.
+type Trace = experiment.Trace
+
+// TraceDigest names one replication's delivery digest.
+type TraceDigest = experiment.TraceDigest
+
+// NewTrace creates a trace exporter writing to w; attach it by appending
+// its Observer method to Config.Observers.
+func NewTrace(w io.Writer) *Trace { return experiment.NewTrace(w) }
+
+// ReplayResult reports one replayed trace replication: the recorded and
+// re-run delivery digests and whether they match.
+type ReplayResult = experiment.ReplayResult
+
+// ReplayTrace re-executes every replication recorded in a trace from its
+// embedded configuration and compares delivery digests. Simulations are
+// deterministic in virtual time, so traces replay identically anywhere.
+func ReplayTrace(r io.Reader) ([]ReplayResult, error) { return experiment.Replay(r) }
+
+// HeartbeatDetector returns a heartbeat failure-detector tuning (in
+// milliseconds, the paper's unit) for Config.Detector, Sweep.Detectors
+// or ClusterConfig.Heartbeat. Zero values select the defaults (10 ms
+// interval, 3x interval timeout).
+func HeartbeatDetector(intervalMs, timeoutMs float64) *HeartbeatConfig {
+	return &HeartbeatConfig{Interval: Milliseconds(intervalMs), Timeout: Milliseconds(timeoutMs)}
 }
 
 // Milliseconds converts a float millisecond count into a time.Duration —
