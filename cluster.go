@@ -47,6 +47,8 @@ type NetStats struct {
 	Multicasts uint64
 	WireSlots  uint64
 	Deliveries uint64
+	// Lost counts message copies discarded by a partition or lossy link.
+	Lost uint64
 }
 
 // ClusterConfig configures an interactive simulated cluster.
@@ -62,12 +64,24 @@ type ClusterConfig struct {
 	QoS QoS
 	// Seed makes the run reproducible (default 1).
 	Seed uint64
-	// PreCrashed lists processes crashed long before the start.
+	// PreCrashed lists processes crashed long before the start. It is a
+	// constructor for the plan's PreCrash events — the two spellings
+	// produce bit-identical runs.
 	PreCrashed []int
+	// Plan is a fault- and environment-injection timeline installed at
+	// construction: crashes and recoveries, suspicion bursts, partitions
+	// and heals, link faults. The interactive fault methods (CrashAt,
+	// SuspectAt, RecoverAt, PartitionAt, HealAt, SetLinkAt) schedule the
+	// same events through the same machinery, so a scripted session and a
+	// planned one are interchangeable.
+	Plan *FaultPlan
 	// OnDeliver observes every A-delivery at every process.
 	OnDeliver func(d Delivery)
 	// OnView observes view installations (GM algorithms only).
 	OnView func(v ViewInfo)
+	// OnFault, if non-nil, observes every plan event at the instant it
+	// applies.
+	OnFault func(at time.Duration, ev PlanEvent)
 	// Heartbeat, if non-nil, replaces the abstract QoS failure-detector
 	// model with a concrete heartbeat detector whose messages share the
 	// contended network (see internal/hbfd). QoS should then be zero.
@@ -84,12 +98,24 @@ type HeartbeatConfig = experiment.Heartbeat
 // Cluster is an interactively driven simulated cluster running one of the
 // paper's atomic broadcast algorithms. All methods must be called from a
 // single goroutine; time only advances inside Run calls.
+//
+// Faults — crashes, recoveries, wrong suspicions, partitions and heals,
+// link loss and delay — are FaultPlan events: give a full timeline in
+// ClusterConfig.Plan, or script interactively with the *At methods and
+// Apply, which schedule the same events through the same machinery.
 type Cluster struct {
 	cfg      ClusterConfig
 	eng      *sim.Engine
 	sys      *proto.System
 	bcast    []func(body any) MessageID
 	wrappers []*hbfd.Wrapper // non-nil entries when Heartbeat is enabled
+	faults   *experiment.Faults
+	// endpoint[p] constructs one protocol-stack incarnation of process p;
+	// RecoverAt uses it to rebuild after a GM crash-recovery.
+	endpoint []func(rt proto.Runtime, rejoin bool) proto.Handler
+	// sentBy counts A-broadcast calls per process: the ID-sequence base a
+	// recovered GM incarnation continues from.
+	sentBy []uint64
 }
 
 // NewCluster builds a cluster. It panics on invalid configuration.
@@ -106,23 +132,52 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if err := cfg.Plan.Validate(cfg.N); err != nil {
+		panic(err)
+	}
 	eng := sim.New()
 	netCfg := netmodel.Config{N: cfg.N, Lambda: Milliseconds(cfg.Lambda), Slot: time.Millisecond}
 	sys := proto.NewSystem(eng, netCfg, cfg.QoS, sim.NewRand(cfg.Seed))
-	c := &Cluster{cfg: cfg, eng: eng, sys: sys, bcast: make([]func(any) MessageID, cfg.N)}
+	c := &Cluster{
+		cfg:      cfg,
+		eng:      eng,
+		sys:      sys,
+		bcast:    make([]func(any) MessageID, cfg.N),
+		wrappers: make([]*hbfd.Wrapper, cfg.N),
+		endpoint: make([]func(proto.Runtime, bool) proto.Handler, cfg.N),
+		sentBy:   make([]uint64, cfg.N),
+	}
 
-	preCrashed := make(map[int]bool, len(cfg.PreCrashed))
+	// Pre-crashes: the PreCrashed list first, then the plan's PreCrash
+	// events, duplicates dropped.
+	var preOrder []proto.PID
+	preCrashed := make(map[proto.PID]bool, len(cfg.PreCrashed))
+	addPre := func(p proto.PID) {
+		if int(p) < 0 || int(p) >= cfg.N {
+			panic(fmt.Sprintf("repro: pre-crashed process %d out of range", p))
+		}
+		if !preCrashed[p] {
+			preCrashed[p] = true
+			preOrder = append(preOrder, p)
+		}
+	}
 	for _, p := range cfg.PreCrashed {
-		preCrashed[p] = true
+		addPre(proto.PID(p))
+	}
+	if cfg.Plan != nil {
+		for _, ev := range cfg.Plan.Events {
+			if pre, ok := ev.(PreCrash); ok {
+				addPre(pre.P)
+			}
+		}
 	}
 	var members []proto.PID
 	for p := 0; p < cfg.N; p++ {
-		if !preCrashed[p] {
+		if !preCrashed[proto.PID(p)] {
 			members = append(members, proto.PID(p))
 		}
 	}
 
-	c.wrappers = make([]*hbfd.Wrapper, cfg.N)
 	for p := 0; p < cfg.N; p++ {
 		pid := proto.PID(p)
 		procIdx := p
@@ -137,8 +192,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			}
 		}
 		// build constructs the algorithm endpoint against rt and returns
-		// the handler plus the broadcast entry point.
-		build := func(rt proto.Runtime) (proto.Handler, func(any) MessageID) {
+		// the handler plus the broadcast entry point. rejoin marks a
+		// recovered GM incarnation: its initial view omits itself and its
+		// message IDs continue where the previous incarnation stopped.
+		build := func(rt proto.Runtime, rejoin bool) (proto.Handler, func(any) MessageID) {
 			switch cfg.Algorithm {
 			case FD:
 				proc := ctabcast.New(rt, ctabcast.Config{Deliver: deliver, Renumber: true})
@@ -148,6 +205,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 					Deliver:        deliver,
 					Uniform:        cfg.Algorithm == GM,
 					InitialMembers: members,
+				}
+				if rejoin {
+					scfg.InitialMembers = membersWithout(members, pid)
+					scfg.SeqBase = c.sentBy[procIdx]
 				}
 				if cfg.OnView != nil {
 					scfg.OnView = func(v gm.View) {
@@ -169,28 +230,72 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				panic(fmt.Sprintf("repro: unknown algorithm %v", cfg.Algorithm))
 			}
 		}
-		if hb := cfg.Heartbeat; hb != nil {
-			var bcast func(any) MessageID
-			w := hbfd.Wrap(sys.Proc(pid), hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
-				func(rt proto.Runtime) proto.Handler {
-					h, bc := build(rt)
-					bcast = bc
-					return h
-				})
-			c.wrappers[p] = w
-			sys.SetHandler(pid, w)
-			c.bcast[p] = bcast
-			continue
+		c.endpoint[p] = func(rt proto.Runtime, rejoin bool) proto.Handler {
+			if hb := cfg.Heartbeat; hb != nil {
+				w := hbfd.Wrap(rt, hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
+					func(inner proto.Runtime) proto.Handler {
+						h, bc := build(inner, rejoin)
+						c.bcast[procIdx] = bc
+						return h
+					})
+				c.wrappers[procIdx] = w
+				return w
+			}
+			h, bc := build(rt, rejoin)
+			c.bcast[procIdx] = bc
+			return h
 		}
-		handler, bcast := build(sys.Proc(pid))
-		sys.SetHandler(pid, handler)
-		c.bcast[p] = bcast
+		sys.SetHandler(pid, c.endpoint[p](sys.Proc(pid), false))
 	}
-	for _, p := range cfg.PreCrashed {
-		sys.PreCrash(proto.PID(p))
+	for _, p := range preOrder {
+		sys.PreCrash(p)
 	}
 	sys.Start()
+	c.faults = &experiment.Faults{
+		Sys:     sys,
+		Recover: c.recover,
+		OnEvent: func(ev PlanEvent) {
+			if cfg.OnFault != nil {
+				cfg.OnFault(eng.Now().Duration(), ev)
+			}
+		},
+	}
+	if cfg.Plan != nil {
+		c.faults.Install(cfg.Plan)
+	}
 	return c
+}
+
+// membersWithout returns members minus p, freshly allocated.
+func membersWithout(members []proto.PID, p proto.PID) []proto.PID {
+	out := make([]proto.PID, 0, len(members))
+	for _, m := range members {
+		if m != p {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// recover revives a crashed process, algorithm-aware: GM algorithms get
+// a fresh incarnation that rejoins through the membership service with
+// state transfer; the crash-stop FD algorithm resumes with its state
+// intact (a long outage). The heartbeat detector, when configured,
+// starts beating again either way.
+func (c *Cluster) recover(p proto.PID) {
+	if !c.sys.Proc(p).Crashed() {
+		return
+	}
+	if c.cfg.Algorithm == FD {
+		c.sys.Recover(p, nil)
+		if w := c.wrappers[p]; w != nil {
+			w.Restart()
+		}
+		return
+	}
+	c.sys.Recover(p, func(rt proto.Runtime) proto.Handler {
+		return c.endpoint[p](rt, true)
+	})
 }
 
 // Now returns the current virtual time.
@@ -199,26 +304,75 @@ func (c *Cluster) Now() time.Duration { return c.eng.Now().Duration() }
 // Broadcast A-broadcasts body from process p at the current instant and
 // returns the message ID.
 func (c *Cluster) Broadcast(p int, body any) MessageID {
+	c.sentBy[p]++
 	return c.bcast[p](body)
 }
 
 // BroadcastAt schedules an A-broadcast from process p at virtual time at.
 func (c *Cluster) BroadcastAt(p int, at time.Duration, body any) {
-	c.eng.Schedule(sim.Time(at), func() { c.bcast[p](body) })
+	c.eng.Schedule(sim.Time(at), func() {
+		c.sentBy[p]++
+		c.bcast[p](body)
+	})
+}
+
+// Apply schedules one fault-plan event at its instant — the primitive
+// every *At fault method below is sugar for. It panics on an invalid
+// event or one scheduled in the simulation's past.
+func (c *Cluster) Apply(ev PlanEvent) {
+	if _, pre := ev.(PreCrash); pre {
+		panic("repro: PreCrash is an initial condition; list it in ClusterConfig")
+	}
+	if err := (&FaultPlan{Events: []PlanEvent{ev}}).Validate(c.cfg.N); err != nil {
+		panic(err)
+	}
+	c.faults.Schedule(ev)
 }
 
 // CrashAt schedules a crash of process p at virtual time at.
 func (c *Cluster) CrashAt(p int, at time.Duration) {
-	c.sys.CrashAt(proto.PID(p), sim.Time(at))
+	c.Apply(Crash{At: at, P: proto.PID(p)})
+}
+
+// RecoverAt schedules a recovery of crashed process p at virtual time at:
+// GM algorithms rejoin through the membership service with state
+// transfer, the crash-stop FD algorithm resumes from its pre-crash state
+// (see the Recover event).
+func (c *Cluster) RecoverAt(p int, at time.Duration) {
+	c.Apply(Recover{At: at, P: proto.PID(p)})
 }
 
 // SuspectAt schedules a wrong suspicion: monitor starts suspecting target
 // at the given instant, for the given duration (0 is an instantaneous
 // mistake whose edges still fire).
 func (c *Cluster) SuspectAt(monitor, target int, at, duration time.Duration) {
-	c.eng.Schedule(sim.Time(at), func() {
-		c.sys.FDs.InjectMistake(monitor, target, duration)
-	})
+	c.Apply(SuspicionBurst{At: at, P: proto.PID(target), For: duration, By: []ProcessID{proto.PID(monitor)}})
+}
+
+// PartitionAt schedules a network partition into the given groups at
+// virtual time at; processes listed in no group are isolated alone.
+func (c *Cluster) PartitionAt(at time.Duration, groups ...[]int) {
+	ev := Partition{At: at, Groups: make([][]proto.PID, len(groups))}
+	for gi, g := range groups {
+		ev.Groups[gi] = make([]proto.PID, len(g))
+		for i, p := range g {
+			ev.Groups[gi][i] = proto.PID(p)
+		}
+	}
+	c.Apply(ev)
+}
+
+// HealAt schedules the removal of the partition in force at virtual time
+// at.
+func (c *Cluster) HealAt(at time.Duration) {
+	c.Apply(Heal{At: at})
+}
+
+// SetLinkAt schedules a fault on the directed link from → to at virtual
+// time at: loss probability per message copy plus extra delay. Zero both
+// to clear the link.
+func (c *Cluster) SetLinkAt(at time.Duration, from, to int, loss float64, extraDelay time.Duration) {
+	c.Apply(LinkFault{At: at, From: proto.PID(from), To: proto.PID(to), Loss: loss, ExtraDelay: extraDelay})
 }
 
 // Run advances virtual time by d, processing all events on the way.
@@ -240,6 +394,7 @@ func (c *Cluster) Stats() NetStats {
 		Multicasts: counters.Multicasts,
 		WireSlots:  counters.WireSlots,
 		Deliveries: counters.Deliveries,
+		Lost:       counters.Lost,
 	}
 }
 

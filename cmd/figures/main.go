@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, smoke, ablations or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, partition, churn, smoke, ablations or all")
 	quickFlag   = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
 	seedFlag    = flag.Uint64("seed", 1, "base random seed")
 	repsFlag    = flag.Int("reps", 0, "replications per point (0 = scenario default)")
@@ -87,6 +87,10 @@ func main() {
 		figDist()
 	case "hb":
 		figHeartbeat()
+	case "partition":
+		figPartition()
+	case "churn":
+		figChurn()
 	case "smoke":
 		figSmoke()
 	case "ablations":
@@ -100,6 +104,8 @@ func main() {
 		fig8()
 		figDist()
 		figHeartbeat()
+		figPartition()
+		figChurn()
 		ablations()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
@@ -577,6 +583,112 @@ func figHeartbeat() {
 	fmt.Println()
 }
 
+// figPartition drives both algorithms through a partition-and-heal
+// FaultPlan: a majority/minority split opens mid-measurement and heals
+// before it ends. The distributions separate the algorithms the way no
+// failure-free figure can: the FD algorithm keeps serving the majority
+// and loses the minority's partition-era messages outright (no
+// retransmission in its reliable broadcast), while the GM algorithm
+// excludes the minority, welcomes it back through rejoin + state
+// transfer, and recovers every message — at the price of a heavy late
+// tail in the latency distribution.
+func figPartition() {
+	const n = 5
+	warmup := time.Second
+	plan := repro.NewFaultPlan().
+		Partition(warmup+1500*time.Millisecond, []repro.ProcessID{0, 1, 2}, []repro.ProcessID{3, 4}).
+		Heal(warmup + 3*time.Second)
+	planFigure([]string{
+		fmt.Sprintf("# Figure P: partition-and-heal, n=%d, groups {0 1 2}|{3 4}, split at +1.5s, healed at +3s of a 5s measure", n),
+		"# FD keeps the majority running and loses the minority's partition-era messages;",
+		"# GM excludes and rejoins the minority (state transfer) and delivers them late.",
+	}, n, plan, "part+heal")
+}
+
+// figChurn drives both algorithms through a crash-recover-crash schedule
+// of the coordinator/sequencer p0 — the paper's worst-case process. The
+// GM algorithm pays a sequencer failover, then a rejoin with full state
+// transfer, then a second failover; the crash-stop FD algorithm treats
+// the recovery as the end of an outage and resumes the process with its
+// state intact, catching up through decision forwarding.
+func figChurn() {
+	const n = 3
+	warmup := time.Second
+	plan := repro.NewFaultPlan().
+		Crash(warmup+time.Second, 0).
+		Recover(warmup+2500*time.Millisecond, 0).
+		Crash(warmup+4*time.Second, 0)
+	planFigure([]string{
+		"# Figure C: churn of the coordinator/sequencer (crash p0 at +1s, recover at +2.5s,",
+		fmt.Sprintf("# crash again at +4s of a 5s measure), n=%d, TD=10ms", n),
+		"# GM pays sequencer failover + rejoin/state transfer; crash-stop FD resumes p0 in place.",
+	}, n, plan, "churn")
+}
+
+// planFigure is the shared body of the plan-driven figures: both
+// algorithms with and without the plan, across the throughput sweep,
+// reporting mean/CI/quantiles plus the undelivered count.
+func planFigure(header []string, n int, plan *repro.FaultPlan, label string) {
+	warmup := time.Second
+	thrs := []float64{10, 100, 300}
+	if *quickFlag {
+		thrs = []float64{10, 100}
+	}
+	reps := 3
+	if *quickFlag {
+		reps = 2
+	}
+	if *repsFlag > 0 {
+		reps = *repsFlag
+	}
+	for _, line := range header {
+		fmt.Println(line)
+	}
+	fmt.Println("# throughput(1/s)\talg\tplan\tmean(ms)\tci\tP50\tP90\tP99\tundelivered")
+	var cfgs []repro.Config
+	for _, thr := range thrs {
+		cfgs = append(cfgs, repro.Sweep{
+			Base: repro.Config{
+				Algorithm:    repro.FD,
+				N:            n,
+				Throughput:   thr,
+				QoS:          repro.Detectors(10, 0, 0),
+				Seed:         *seedFlag,
+				Warmup:       warmup,
+				Measure:      5 * time.Second,
+				Drain:        15 * time.Second,
+				Replications: reps,
+			},
+			Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+			Plans:      []*repro.FaultPlan{nil, plan},
+		}.Points()...)
+	}
+	res := runner.SteadyAll(cfgs)
+	for i, r := range res {
+		name := "none"
+		if r.Config.Plan != nil {
+			name = label
+		}
+		fmt.Printf("%.0f\t%v\t%s\t%s\t%s\t%d\n",
+			r.Config.Throughput, r.Config.Algorithm, name,
+			cellAny(r), qcell(r.Quantiles, r.Quantiles.N > 0), r.Undelivered)
+		if i%4 == 3 {
+			// Blank line between throughput blocks for gnuplot indexing.
+			fmt.Println()
+		}
+	}
+}
+
+// cellAny formats mean ± CI even for points with undelivered messages
+// (the partition and churn figures report those honestly in their own
+// column instead of suppressing the whole row).
+func cellAny(res repro.Result) string {
+	if res.Latency.N == 0 {
+		return "lost\tlost"
+	}
+	return fmt.Sprintf("%.2f\t%.2f", res.Latency.Mean, res.Latency.CI95)
+}
+
 // figSmoke runs a fixed two-point grid — the abstract QoS model and the
 // concrete heartbeat detector — with the trace observer attached, and
 // prints each replication's delivery digest plus each point's summary.
@@ -616,6 +728,44 @@ func figSmoke() {
 	for i, r := range res {
 		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n", i,
 			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages)
+	}
+	fmt.Println("# point\trep\tdelivery_digest")
+	for _, d := range tr.Digests() {
+		fmt.Printf("%d\t%d\t%016x\n", d.Point, d.Rep, d.Digest)
+	}
+	if err := tr.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace flush: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Second pinned grid: one plan-driven point per algorithm — a
+	// partition-and-heal mid-measure — exercising the FaultPlan path end
+	// to end, trace record and replay included.
+	plan := repro.NewFaultPlan().
+		Partition(600*time.Millisecond, []repro.ProcessID{0, 1}, []repro.ProcessID{2}).
+		Heal(900 * time.Millisecond)
+	planSweep := repro.Sweep{
+		Base: repro.Config{
+			Algorithm:    repro.FD,
+			N:            3,
+			Throughput:   50,
+			QoS:          repro.Detectors(10, 0, 0),
+			Seed:         1,
+			Warmup:       200 * time.Millisecond,
+			Measure:      time.Second,
+			Drain:        5 * time.Second,
+			Replications: 2,
+			Plan:         plan,
+			Observers:    []repro.ObserverFactory{tr.Observer},
+		},
+		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+	}
+	planRes := runner.Sweep(planSweep)
+	fmt.Println("# Plan grid: partition {0 1}|{2} at 600ms, heal at 900ms; FD (point 0) vs GM (point 1)")
+	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
+	for i, r := range planRes {
+		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\n", i,
+			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages, r.Undelivered)
 	}
 	fmt.Println("# point\trep\tdelivery_digest")
 	for _, d := range tr.Digests() {

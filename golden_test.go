@@ -25,6 +25,8 @@ var goldenDigests = map[string]uint64{
 	"FD/n=3/lambda=2/late-crash": 0x15550c11148ee48d,
 	"FD/n=2/minimal":             0xa530831d7d3fd72b,
 	"GM/n=5/cascade-crashes":     0xa312c893cf725274,
+	"GM/n=5/partition-heal":      0x566979f693c552b8,
+	"FD/n=3/churn-recover":       0x38d9f98d7d141577,
 }
 
 // goldenScenario drives one fully scripted cluster and folds every
@@ -137,6 +139,34 @@ func goldenScenarios() []goldenScenario {
 				c.CrashAt(3, 200*time.Millisecond)
 			},
 			run: 3 * time.Second,
+		},
+		{
+			// Plan-driven partition: the minority is cut off mid-run and
+			// healed; GM excludes it, welcomes it back with state transfer
+			// and recovers its swallowed messages.
+			name: "GM/n=5/partition-heal",
+			cfg: ClusterConfig{
+				Algorithm: GM, N: 5, Seed: 17, QoS: Detectors(10, 0, 0),
+				Plan: NewFaultPlan().
+					Partition(120*time.Millisecond, []ProcessID{0, 1, 2}, []ProcessID{3, 4}).
+					Heal(320 * time.Millisecond),
+			},
+			drive: script(5, 50),
+			run:   3 * time.Second,
+		},
+		{
+			// Crash-recover-crash churn of the coordinator through the
+			// plan surface; FD resumes p0 with its state intact.
+			name: "FD/n=3/churn-recover",
+			cfg: ClusterConfig{
+				Algorithm: FD, N: 3, Seed: 29, QoS: Detectors(10, 0, 0),
+				Plan: NewFaultPlan().
+					Crash(70*time.Millisecond, 0).
+					Recover(180*time.Millisecond, 0).
+					Crash(260*time.Millisecond, 0),
+			},
+			drive: script(3, 40),
+			run:   3 * time.Second,
 		},
 	}
 }

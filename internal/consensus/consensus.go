@@ -92,6 +92,44 @@ func (MsgNack) isConsensusMsg()     {}
 func (MsgAbort) isConsensusMsg()    {}
 func (MsgDecide) isConsensusMsg()   {}
 
+// Boxing a control message into the Msg interface allocates. Rounds are
+// small (round 1 in every failure-free instance), so the boxed forms of
+// the round-only control messages are interned for low round numbers:
+// one allocation per protocol message (the embedding protocol's instance
+// tag) instead of two on the ack/nack/abort paths.
+const internedRounds = 8
+
+var ackBox, nackBox, abortBox [internedRounds + 1]Msg
+
+func init() {
+	for r := 1; r <= internedRounds; r++ {
+		ackBox[r] = MsgAck{Round: r}
+		nackBox[r] = MsgNack{Round: r}
+		abortBox[r] = MsgAbort{Round: r}
+	}
+}
+
+func ackMsg(r int) Msg {
+	if r >= 1 && r <= internedRounds {
+		return ackBox[r]
+	}
+	return MsgAck{Round: r}
+}
+
+func nackMsg(r int) Msg {
+	if r >= 1 && r <= internedRounds {
+		return nackBox[r]
+	}
+	return MsgNack{Round: r}
+}
+
+func abortMsg(r int) Msg {
+	if r >= 1 && r <= internedRounds {
+		return abortBox[r]
+	}
+	return MsgAbort{Round: r}
+}
+
 // Transport sends instance messages on behalf of the instance. The
 // embedding protocol adds its instance tag and routes through the network.
 // Send(self) must deliver locally; Multicast must deliver to all
@@ -132,13 +170,25 @@ const (
 )
 
 // roundState is the coordinator-side bookkeeping for one round. It exists
-// at a process only for rounds it coordinates.
+// at a process only for rounds it coordinates. Participants are tracked
+// by index into Config.Participants in one flat slice — participant sets
+// are tiny, so a linear index lookup beats two maps and their bucket
+// allocations.
 type roundState struct {
-	estimates map[proto.PID]estCand
-	acks      map[proto.PID]bool
-	proposed  bool
-	proposal  Value
-	aborted   bool
+	parts    []partRound // by participant index
+	estCount int
+	ackCount int
+	proposed bool
+	proposal Value
+	aborted  bool
+}
+
+// partRound is one participant's contribution to a coordinated round.
+type partRound struct {
+	est    Value
+	ts     int
+	hasEst bool
+	acked  bool
 }
 
 type estCand struct {
@@ -169,6 +219,7 @@ type Instance struct {
 	decided   bool
 	decision  Value
 	proposer  proto.PID
+	decideBox Msg // the boxed decision message, built once, reused by relays and forwards
 	forwarded map[proto.PID]bool
 	relayed   bool
 	closed    bool
@@ -223,6 +274,17 @@ func (in *Instance) Coordinator(r int) proto.PID {
 	return in.cfg.Participants[(in.coordBase+r-1)%n]
 }
 
+// index returns p's position among the participants, or -1 for a
+// non-participant (whose round messages are ignored).
+func (in *Instance) index(p proto.PID) int {
+	for i, q := range in.cfg.Participants {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
 // Decided reports whether the instance has decided locally.
 func (in *Instance) Decided() bool { return in.decided }
 
@@ -264,8 +326,12 @@ func (in *Instance) Restart() {
 	// coordinate round 1 we can propose it without a phase-1 exchange.
 	if in.Coordinator(1) == in.cfg.Self {
 		rs := in.roundState(1)
-		if cand, ok := rs.estimates[in.cfg.Self]; !ok || cand.est == nil {
-			rs.estimates[in.cfg.Self] = estCand{est: in.estimate, ts: in.ts}
+		self := &rs.parts[in.index(in.cfg.Self)]
+		if !self.hasEst || self.est == nil {
+			if !self.hasEst {
+				rs.estCount++
+			}
+			*self = partRound{est: in.estimate, ts: in.ts, hasEst: true, acked: self.acked}
 		}
 		in.tryPropose(1)
 	}
@@ -317,7 +383,7 @@ func (in *Instance) OnSuspect(p proto.PID) {
 	switch in.phase {
 	case phaseWaitPropose:
 		// Classic phase 3: nack tells a live coordinator to abort.
-		in.tr.Send(in.Coordinator(in.round), MsgNack{Round: in.round})
+		in.tr.Send(in.Coordinator(in.round), nackMsg(in.round))
 		in.enterRound(in.round + 1)
 	case phaseWaitDecide:
 		// Already acked; the decision may never come if the coordinator
@@ -331,10 +397,7 @@ func (in *Instance) OnSuspect(p proto.PID) {
 func (in *Instance) roundState(r int) *roundState {
 	rs, ok := in.rounds[r]
 	if !ok {
-		rs = &roundState{
-			estimates: make(map[proto.PID]estCand),
-			acks:      make(map[proto.PID]bool),
-		}
+		rs = &roundState{parts: make([]partRound, len(in.cfg.Participants))}
 		if in.rounds == nil {
 			in.rounds = make(map[int]*roundState, 1)
 		}
@@ -376,7 +439,7 @@ func (in *Instance) checkSuspicion() {
 	}
 	c := in.Coordinator(in.round)
 	if c != in.cfg.Self && in.cfg.Suspects(c) {
-		in.tr.Send(c, MsgNack{Round: in.round})
+		in.tr.Send(c, nackMsg(in.round))
 		in.enterRound(in.round + 1)
 	}
 }
@@ -392,9 +455,14 @@ func (in *Instance) onEstimate(from proto.PID, msg MsgEstimate) {
 	if in.Coordinator(msg.Round) != in.cfg.Self {
 		return // misrouted; cannot happen with a correct transport
 	}
+	i := in.index(from)
+	if i < 0 {
+		return // not a participant of this instance
+	}
 	rs := in.roundState(msg.Round)
-	if _, dup := rs.estimates[from]; !dup {
-		rs.estimates[from] = estCand{est: msg.Est, ts: msg.Ts}
+	if p := &rs.parts[i]; !p.hasEst {
+		p.est, p.ts, p.hasEst = msg.Est, msg.Ts, true
+		rs.estCount++
 	}
 	in.tryPropose(msg.Round)
 }
@@ -412,27 +480,27 @@ func (in *Instance) tryPropose(r int) {
 		// Fast path: the round-1 coordinator proposes its own initial
 		// value; no estimate quorum is needed because every timestamp in
 		// the system is still zero.
-		cand, ok := rs.estimates[in.cfg.Self]
-		if !ok || cand.est == nil {
+		self := rs.parts[in.index(in.cfg.Self)]
+		if !self.hasEst || self.est == nil {
 			return
 		}
 		rs.proposed = true
-		rs.proposal = cand.est
-		in.tr.Multicast(MsgPropose{Round: 1, Est: cand.est})
+		rs.proposal = self.est
+		in.tr.Multicast(MsgPropose{Round: 1, Est: self.est})
 		return
 	}
-	if len(rs.estimates) < in.majority {
+	if rs.estCount < in.majority {
 		return
 	}
 	best := estCand{}
 	bestFrom := proto.PID(-1)
-	for _, p := range in.cfg.Participants { // deterministic iteration order
-		cand, ok := rs.estimates[p]
-		if !ok || cand.est == nil {
+	for i, p := range in.cfg.Participants { // deterministic iteration order
+		cand := rs.parts[i]
+		if !cand.hasEst || cand.est == nil {
 			continue
 		}
 		if bestFrom < 0 || cand.ts > best.ts {
-			best = cand
+			best = estCand{est: cand.est, ts: cand.ts}
 			bestFrom = p
 		}
 	}
@@ -463,7 +531,7 @@ func (in *Instance) onPropose(from proto.PID, msg MsgPropose) {
 	if c != in.cfg.Self && in.cfg.Suspects(c) {
 		// The ♦S phase-3 disjunction resolved to "suspect" before the
 		// proposal was processed.
-		in.tr.Send(c, MsgNack{Round: r})
+		in.tr.Send(c, nackMsg(r))
 		in.enterRound(r + 1)
 		return
 	}
@@ -471,7 +539,7 @@ func (in *Instance) onPropose(from proto.PID, msg MsgPropose) {
 	in.ts = r
 	in.started = true
 	in.phase = phaseWaitDecide
-	in.tr.Send(c, MsgAck{Round: r})
+	in.tr.Send(c, ackMsg(r))
 }
 
 // onAck handles coordinator duty: count acks, decide on a majority.
@@ -482,11 +550,19 @@ func (in *Instance) onAck(from proto.PID, msg MsgAck) {
 	if in.Coordinator(msg.Round) != in.cfg.Self {
 		return
 	}
+	i := in.index(from)
+	if i < 0 {
+		return // not a participant of this instance
+	}
 	rs := in.roundState(msg.Round)
-	rs.acks[from] = true
-	if rs.proposed && len(rs.acks) >= in.majority {
+	if !rs.parts[i].acked {
+		rs.parts[i].acked = true
+		rs.ackCount++
+	}
+	if rs.proposed && rs.ackCount >= in.majority {
 		v := rs.proposal
-		in.tr.Multicast(MsgDecide{Val: v, Proposer: in.cfg.Self})
+		in.decideBox = MsgDecide{Val: v, Proposer: in.cfg.Self}
+		in.tr.Multicast(in.decideBox)
 		in.decideNow(v, in.cfg.Self)
 	}
 }
@@ -505,7 +581,7 @@ func (in *Instance) onNack(from proto.PID, msg MsgNack) {
 		return
 	}
 	rs.aborted = true
-	in.tr.Multicast(MsgAbort{Round: msg.Round})
+	in.tr.Multicast(abortMsg(msg.Round))
 	// The abort reaches us through local delivery and advances our own
 	// participant state in onAbort.
 }
@@ -546,7 +622,16 @@ func (in *Instance) relayDecision() {
 		return
 	}
 	in.relayed = true
-	in.tr.Multicast(MsgDecide{Val: in.decision, Proposer: in.proposer})
+	in.tr.Multicast(in.decidedMsg())
+}
+
+// decidedMsg returns the boxed decision message, building it at most
+// once per instance.
+func (in *Instance) decidedMsg() Msg {
+	if in.decideBox == nil {
+		in.decideBox = MsgDecide{Val: in.decision, Proposer: in.proposer}
+	}
+	return in.decideBox
 }
 
 // Close marks the instance as old: the embedding protocol has moved on and
@@ -565,5 +650,5 @@ func (in *Instance) forwardDecision(to proto.PID) {
 		in.forwarded = make(map[proto.PID]bool, 1)
 	}
 	in.forwarded[to] = true
-	in.tr.Send(to, MsgDecide{Val: in.decision, Proposer: in.proposer})
+	in.tr.Send(to, in.decidedMsg())
 }

@@ -89,8 +89,18 @@ type Config struct {
 	// QoS axis with a Detectors axis without invalid points.
 	Detector *Heartbeat
 	// Crashed lists pre-crashed processes (crash-steady): suspected from
-	// the start, outside the initial GM view, sending nothing.
+	// the start, outside the initial GM view, sending nothing. It is a
+	// constructor for the plan's PreCrash events — listing a process here
+	// and planning PreCrash for it produce bit-identical runs.
 	Crashed []proto.PID
+	// Plan is the replication's fault- and environment-injection timeline:
+	// crashes and recoveries, suspicion bursts, partitions and heals,
+	// per-link loss and delay. Every scenario installs it through the same
+	// machinery (see FaultPlan and Faults), and it composes with sweeps
+	// via Sweep.Plans, with observers via PlanObserver, and with trace
+	// export — trace headers embed the plan, so planned replications
+	// replay. A nil plan is the fault-free timeline.
+	Plan *FaultPlan
 	// Renumber enables the FD algorithm's coordinator renumbering
 	// optimisation (§7, crash-steady discussion). On by default through
 	// DisableRenumber.
@@ -172,10 +182,35 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: N = %d", c.N)
 	case c.Throughput < 0:
 		return fmt.Errorf("experiment: negative throughput")
-	case len(c.Crashed) >= (c.N+1)/2:
-		return fmt.Errorf("experiment: %d crashes exceed the f < n/2 bound for n = %d", len(c.Crashed), c.N)
+	}
+	if err := c.Plan.validate(c.N); err != nil {
+		return err
+	}
+	if pre := len(c.preCrashOrder()); pre >= (c.N+1)/2 {
+		return fmt.Errorf("experiment: %d pre-crashes exceed the f < n/2 bound for n = %d", pre, c.N)
 	}
 	return nil
+}
+
+// preCrashOrder returns the processes crashed before the run starts —
+// Config.Crashed first, then the plan's PreCrash events — in declaration
+// order with duplicates dropped.
+func (c Config) preCrashOrder() []proto.PID {
+	out := make([]proto.PID, 0, len(c.Crashed))
+	seen := make(map[proto.PID]bool, len(c.Crashed))
+	for _, p := range c.Crashed {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range c.Plan.preCrashes() {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Result aggregates an experiment's replications.
@@ -216,14 +251,30 @@ const DivergenceBacklog = 2000
 
 // cluster assembles one simulated system running one algorithm.
 type cluster struct {
+	cfg   Config
 	eng   *sim.Engine
 	sys   *proto.System
 	bcast []func(body any) proto.MsgID
+	// faults is the replication's single fault-injection path: the plan
+	// installs through it and scripted scenario faults fire through it.
+	faults *Faults
+	// endpoint[p] constructs one protocol-stack incarnation for process p
+	// (algorithm plus heartbeat wrapper when configured), refreshing
+	// bcast[p] and wrappers[p]; recovery uses it to rebuild.
+	endpoint []func(rt proto.Runtime, rejoin bool) proto.Handler
+	// wrappers holds the heartbeat detectors when Config.Detector is set.
+	wrappers []*hbfd.Wrapper
+	// sentBy counts the A-broadcasts issued per process, the ID-sequence
+	// base a recovered GM incarnation continues from.
+	sentBy []uint64
 	// onDeliver is invoked for every A-delivery at every process.
 	onDeliver func(p proto.PID, id proto.MsgID)
 	// onBroadcast, if non-nil, is invoked for every A-broadcast issued
 	// through broadcast() — the feed of BroadcastObservers.
 	onBroadcast func(sender proto.PID, id proto.MsgID)
+	// onPlanEvent, if non-nil, observes plan events as they apply — the
+	// feed of PlanObservers.
+	onPlanEvent func(ev PlanEvent)
 	// broadcasts and deliveredAt0 are the backlog accounting used for
 	// divergence detection: every broadcast issued through broadcast()
 	// versus deliveries observed at process 0 (always alive in steady
@@ -234,9 +285,15 @@ type cluster struct {
 
 // broadcast A-broadcasts body from sender and maintains the backlog
 // accounting. Scenarios must broadcast through it rather than calling
-// bcast directly.
+// bcast directly. A crashed sender generates no load: the zero MsgID is
+// returned and nothing is counted (a message ID's Seq is always >= 1, so
+// the zero ID is unambiguous).
 func (c *cluster) broadcast(sender int, body any) proto.MsgID {
+	if c.sys.Proc(proto.PID(sender)).Crashed() {
+		return proto.MsgID{}
+	}
 	c.broadcasts++
+	c.sentBy[sender]++
 	id := c.bcast[sender](body)
 	if c.onBroadcast != nil {
 		c.onBroadcast(proto.PID(sender), id)
@@ -247,7 +304,8 @@ func (c *cluster) broadcast(sender int, body any) proto.MsgID {
 // backlog returns the number of broadcasts not yet delivered at p0.
 func (c *cluster) backlog() int { return c.broadcasts - c.deliveredAt0 }
 
-// newCluster builds engine + network + detectors + algorithm stack.
+// newCluster builds engine + network + detectors + algorithm stack, and
+// installs the configuration's fault plan.
 func newCluster(cfg Config, seed uint64) *cluster {
 	eng := sim.New()
 	netCfg := netmodel.Config{
@@ -264,10 +322,19 @@ func newCluster(cfg Config, seed uint64) *cluster {
 		qos = fd.QoS{}
 	}
 	sys := proto.NewSystem(eng, netCfg, qos, rng)
-	c := &cluster{eng: eng, sys: sys, bcast: make([]func(any) proto.MsgID, cfg.N)}
+	c := &cluster{
+		cfg:      cfg,
+		eng:      eng,
+		sys:      sys,
+		bcast:    make([]func(any) proto.MsgID, cfg.N),
+		endpoint: make([]func(proto.Runtime, bool) proto.Handler, cfg.N),
+		wrappers: make([]*hbfd.Wrapper, cfg.N),
+		sentBy:   make([]uint64, cfg.N),
+	}
 
-	crashed := make(map[proto.PID]bool, len(cfg.Crashed))
-	for _, p := range cfg.Crashed {
+	pre := cfg.preCrashOrder()
+	crashed := make(map[proto.PID]bool, len(pre))
+	for _, p := range pre {
 		crashed[p] = true
 	}
 	var members []proto.PID
@@ -278,6 +345,7 @@ func newCluster(cfg Config, seed uint64) *cluster {
 	}
 
 	for p := 0; p < cfg.N; p++ {
+		p := p
 		pid := proto.PID(p)
 		deliver := func(id proto.MsgID, body any) {
 			if pid == 0 {
@@ -290,7 +358,11 @@ func newCluster(cfg Config, seed uint64) *cluster {
 		// build constructs the algorithm endpoint against rt and returns
 		// the handler plus the broadcast entry point; rt is the plain
 		// process runtime, or the heartbeat wrapper's when Detector is set.
-		build := func(rt proto.Runtime) (proto.Handler, func(any) proto.MsgID) {
+		// rejoin marks a recovered GM incarnation: its initial view omits
+		// itself (so it starts excluded and rejoins through the membership
+		// service) and its message IDs continue the previous incarnations'
+		// sequence.
+		build := func(rt proto.Runtime, rejoin bool) (proto.Handler, func(any) proto.MsgID) {
 			switch cfg.Algorithm {
 			case FD:
 				proc := ctabcast.New(rt, ctabcast.Config{
@@ -299,41 +371,93 @@ func newCluster(cfg Config, seed uint64) *cluster {
 				})
 				return proc, proc.ABroadcast
 			default: // GM, GMNonUniform; validate() excluded the rest
-				proc := seqabcast.New(rt, seqabcast.Config{
+				scfg := seqabcast.Config{
 					Deliver:        deliver,
 					Uniform:        cfg.Algorithm == GM,
 					InitialMembers: members,
-				})
+				}
+				if rejoin {
+					scfg.InitialMembers = withoutPID(members, pid)
+					scfg.SeqBase = c.sentBy[p]
+				}
+				proc := seqabcast.New(rt, scfg)
 				return proc, proc.ABroadcast
 			}
 		}
-		if hb := cfg.Detector; hb != nil {
-			var bcast func(any) proto.MsgID
-			w := hbfd.Wrap(sys.Proc(pid), hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
-				func(rt proto.Runtime) proto.Handler {
-					h, bc := build(rt)
-					bcast = bc
-					return h
-				})
-			sys.SetHandler(pid, w)
-			c.bcast[p] = bcast
-			continue
+		c.endpoint[p] = func(rt proto.Runtime, rejoin bool) proto.Handler {
+			if hb := cfg.Detector; hb != nil {
+				w := hbfd.Wrap(rt, hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
+					func(inner proto.Runtime) proto.Handler {
+						h, bc := build(inner, rejoin)
+						c.bcast[p] = bc
+						return h
+					})
+				c.wrappers[p] = w
+				return w
+			}
+			h, bc := build(rt, rejoin)
+			c.bcast[p] = bc
+			return h
 		}
-		handler, bcast := build(sys.Proc(pid))
-		sys.SetHandler(pid, handler)
-		c.bcast[p] = bcast
+		sys.SetHandler(pid, c.endpoint[p](sys.Proc(pid), false))
 	}
-	for _, p := range cfg.Crashed {
+	for _, p := range pre {
 		sys.PreCrash(p)
 	}
 	sys.Start()
+	c.faults = &Faults{
+		Sys:     sys,
+		Recover: c.recover,
+		OnEvent: func(ev PlanEvent) {
+			if c.onPlanEvent != nil {
+				c.onPlanEvent(ev)
+			}
+		},
+	}
+	c.faults.Install(cfg.Plan)
 	return c
 }
 
-// liveSenders returns the processes that generate load.
+// recover revives a crashed process, algorithm-aware: the GM algorithms
+// model a true crash-recovery (a fresh incarnation starts excluded,
+// rejoins through the membership service and catches up via state
+// transfer), while the crash-stop FD algorithm models recovery as the end
+// of a long outage (the process resumes with its state intact and catches
+// up through consensus decision forwarding). Either way the heartbeat
+// detector, when configured, starts beating again.
+func (c *cluster) recover(p proto.PID) {
+	if !c.sys.Proc(p).Crashed() {
+		return
+	}
+	if c.cfg.Algorithm == FD {
+		c.sys.Recover(p, nil)
+		if w := c.wrappers[p]; w != nil {
+			w.Restart()
+		}
+		return
+	}
+	c.sys.Recover(p, func(rt proto.Runtime) proto.Handler {
+		return c.endpoint[p](rt, true)
+	})
+}
+
+// withoutPID returns members minus p, freshly allocated.
+func withoutPID(members []proto.PID, p proto.PID) []proto.PID {
+	out := make([]proto.PID, 0, len(members))
+	for _, m := range members {
+		if m != p {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// liveSenders returns the processes that generate load: everyone not
+// crashed before the run starts. Processes crashed by plan events keep
+// their Poisson source, but broadcast() drops its firings while crashed.
 func liveSenders(cfg Config) []int {
-	crashed := make(map[proto.PID]bool, len(cfg.Crashed))
-	for _, p := range cfg.Crashed {
+	crashed := make(map[proto.PID]bool)
+	for _, p := range cfg.preCrashOrder() {
 		crashed[p] = true
 	}
 	var out []int

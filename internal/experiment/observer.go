@@ -58,6 +58,15 @@ type NetObserver interface {
 	ObserveNet(ev netmodel.TraceEvent)
 }
 
+// PlanObserver is implemented by observers that also want the fault
+// plan's events — scripted crashes included — at the instants they apply.
+// PreCrash events are initial conditions, not timeline events, and are
+// not observed; they are part of the configuration instead.
+type PlanObserver interface {
+	// ObservePlan is invoked when a plan event applies.
+	ObservePlan(at sim.Time, ev PlanEvent)
+}
+
 // ObserverFactory builds one observer instance for one replication.
 // point is the index of the replication's config within the executed
 // batch — a Sweep's canonical point order, a SteadyAll/TransientAll slice

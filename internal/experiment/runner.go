@@ -197,7 +197,8 @@ func (r *Runner) WorstCaseTransient(cfg TransientConfig, sweepCrash bool) Transi
 }
 
 // Sweep describes a grid of steady-state experiment points over
-// Algorithm × N × Throughput × QoS × Lambda × Crashed × Detector. Base
+// Algorithm × N × Throughput × QoS × Lambda × Crashed × Detector × Plan.
+// Base
 // supplies every other field; a nil axis inherits the Base value, so a
 // Sweep with all axes nil is the single point Base. Observers attached
 // to Base see every point of the grid, keyed by its canonical index.
@@ -221,11 +222,18 @@ type Sweep struct {
 	// real heartbeat traffic on the contended network at otherwise
 	// identical points.
 	Detectors []*Heartbeat
+	// Plans sweeps the fault plan: each entry is one Config.Plan — a full
+	// fault/environment timeline (crashes, recoveries, suspicion bursts,
+	// partitions, link faults), or nil for the fault-free point. The axis
+	// crosses whole failure schedules with every other dimension, e.g.
+	// the same partition-and-heal timeline under both algorithms at
+	// several throughputs.
+	Plans []*FaultPlan
 }
 
 // Points expands the grid in canonical order: Algorithm outermost, then
 // N, then Throughput, then QoS, then Lambda, then CrashSet, then
-// Detector innermost.
+// Detector, then Plan innermost.
 func (s Sweep) Points() []Config {
 	algs := s.Algorithms
 	if len(algs) == 0 {
@@ -255,7 +263,11 @@ func (s Sweep) Points() []Config {
 	if len(dets) == 0 {
 		dets = []*Heartbeat{s.Base.Detector}
 	}
-	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets))
+	plans := s.Plans
+	if len(plans) == 0 {
+		plans = []*FaultPlan{s.Base.Plan}
+	}
+	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets)*len(plans))
 	for _, a := range algs {
 		for _, n := range ns {
 			for _, t := range thrs {
@@ -263,10 +275,12 @@ func (s Sweep) Points() []Config {
 					for _, l := range lambdas {
 						for _, cr := range crashes {
 							for _, det := range dets {
-								cfg := s.Base
-								cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
-								cfg.Lambda, cfg.Crashed, cfg.Detector = l, cr, det
-								out = append(out, cfg)
+								for _, plan := range plans {
+									cfg := s.Base
+									cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
+									cfg.Lambda, cfg.Crashed, cfg.Detector, cfg.Plan = l, cr, det, plan
+									out = append(out, cfg)
+								}
 							}
 						}
 					}

@@ -88,6 +88,7 @@ func runReplication(cfg Config, point, rep int, s Scenario) RepStats {
 	var observers []Observer
 	var bcastObservers []BroadcastObserver
 	var netObservers []NetObserver
+	var planObservers []PlanObserver
 	for _, factory := range cfg.Observers {
 		o := factory(point, rep, cfg)
 		if o == nil {
@@ -99,6 +100,9 @@ func runReplication(cfg Config, point, rep int, s Scenario) RepStats {
 		}
 		if no, ok := o.(NetObserver); ok {
 			netObservers = append(netObservers, no)
+		}
+		if po, ok := o.(PlanObserver); ok {
+			planObservers = append(planObservers, po)
 		}
 	}
 
@@ -123,6 +127,14 @@ func runReplication(cfg Config, point, rep int, s Scenario) RepStats {
 				o.ObserveNet(ev)
 			}
 		})
+	}
+	if len(planObservers) > 0 {
+		c.onPlanEvent = func(ev PlanEvent) {
+			at := c.eng.Now()
+			for _, o := range planObservers {
+				o.ObservePlan(at, ev)
+			}
+		}
 	}
 
 	s.Setup(c)
@@ -218,6 +230,9 @@ func (s *steadyScenario) Setup(c *cluster) {
 	workload.Spread(c.eng, sim.NewRand(repSeed(s.cfg.Seed, s.rep)).Fork("load"),
 		s.cfg.Throughput, s.cfg.N, liveSenders(s.cfg), func(sender int) {
 			id := c.broadcast(sender, nil)
+			if id.Seq == 0 {
+				return // crashed sender (plan-driven): no load generated
+			}
 			now := c.eng.Now()
 			if now >= s.start && now < s.end {
 				s.sent[id] = now
@@ -286,8 +301,10 @@ func (t *transientScenario) Setup(c *cluster) {
 		t.cfg.Throughput, t.cfg.N, liveSenders(t.cfg.Config), func(sender int) {
 			c.broadcast(sender, nil)
 		})
+	// The scripted crash is a plan event fired through the shared fault
+	// machinery, in the same instant and before the probe broadcast.
 	c.eng.Schedule(t.crashAt, func() {
-		c.sys.Crash(t.cfg.Crash)
+		c.faults.Fire(Crash{At: t.crashAt.Duration(), P: t.cfg.Crash})
 		t.probe = c.broadcast(int(t.cfg.Sender), "probe")
 		t.probeSent = c.eng.Now()
 	})

@@ -3,6 +3,7 @@ package experiment
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -14,14 +15,16 @@ import (
 
 	"repro/internal/netmodel"
 	"repro/internal/proto"
+	"repro/internal/sim"
 )
 
 // Trace is a cross-cutting observer that streams every observed
 // replication to an io.Writer in a replayable text format, so any sweep
 // point can be re-run and inspected offline. Each replication records
 // its full configuration, every A-broadcast, every message lifecycle
-// point of the network model (send, wire, deliver, drop) and every
-// A-delivery, and closes with an FNV-1a digest of its delivery records.
+// point of the network model (send, wire, deliver, drop), every fault-
+// plan event as it applies and every A-delivery, and closes with an
+// FNV-1a digest of its delivery records.
 // Replay re-executes a trace's replications from the recorded
 // configurations and checks the digests match — the simulations are
 // deterministic in virtual time, so a trace replays identically on any
@@ -37,23 +40,57 @@ import (
 //	C <config JSON>                    replication header (see traceHeader)
 //	B <sender> <origin> <seq> <at>     A-broadcast
 //	N <stage> <from> <to> <at> <name>  network lifecycle point
+//	F <at> <event>                     fault-plan event applied
 //	D <process> <origin> <seq> <at>    A-delivery
+//	T <dropped>                        N records dropped to the buffer bound
 //	E <fnv1a digest of the D records>  end of replication
 type Trace struct {
 	mu   sync.Mutex
 	w    io.Writer
 	reps map[repKey]*traceRep
+
+	gzipOut  bool
+	bufLimit int
+}
+
+// TraceOption configures a Trace at construction.
+type TraceOption func(*Trace)
+
+// TraceGzip makes Flush gzip-compress its output: each Flush writes one
+// gzip member, so appending several runs to one file still yields a valid
+// stream. ReplayTrace detects compression automatically, so traces stay
+// replayable either way. Long traces are dominated by repetitive N
+// records and compress by an order of magnitude.
+func TraceGzip() TraceOption { return func(t *Trace) { t.gzipOut = true } }
+
+// TraceBufferLimit bounds each replication's in-memory buffer to roughly
+// the given number of bytes: once a replication's buffer reaches the
+// limit, further N (network lifecycle) records are dropped and counted,
+// and the replication closes with a "T <dropped>" marker. B and D records
+// are always kept — they are small, and the D records carry the replay
+// digest — so a bounded trace still replays and verifies. Multi-minute
+// replications are dominated by N records (tens per message), which is
+// what makes the bound effective.
+func TraceBufferLimit(bytes int) TraceOption {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("experiment: TraceBufferLimit(%d) is not positive", bytes))
+	}
+	return func(t *Trace) { t.bufLimit = bytes }
 }
 
 // NewTrace creates a trace exporter writing to w.
-func NewTrace(w io.Writer) *Trace {
-	return &Trace{w: w, reps: make(map[repKey]*traceRep)}
+func NewTrace(w io.Writer, opts ...TraceOption) *Trace {
+	t := &Trace{w: w, reps: make(map[repKey]*traceRep)}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
 }
 
 // Observer is the ObserverFactory of the exporter: pass it in
 // Config.Observers.
 func (t *Trace) Observer(point, rep int, cfg Config) Observer {
-	r := &traceRep{}
+	r := &traceRep{limit: t.bufLimit}
 	hdr := headerFromConfig(cfg, point, rep)
 	b, err := json.Marshal(hdr)
 	if err != nil {
@@ -75,16 +112,30 @@ func (t *Trace) Observer(point, rep int, cfg Config) Observer {
 func (t *Trace) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	w := t.w
+	var gz *gzip.Writer
+	if t.gzipOut {
+		gz = gzip.NewWriter(t.w)
+		w = gz
+	}
 	for _, k := range t.sortedKeys() {
 		r := t.reps[k]
-		if _, err := t.w.Write(r.buf.Bytes()); err != nil {
+		if _, err := w.Write(r.buf.Bytes()); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(t.w, "E %016x\n", r.digest()); err != nil {
+		if r.droppedNet > 0 {
+			if _, err := fmt.Fprintf(w, "T %d\n", r.droppedNet); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "E %016x\n", r.digest()); err != nil {
 			return err
 		}
 	}
 	t.reps = make(map[repKey]*traceRep)
+	if gz != nil {
+		return gz.Close()
+	}
 	return nil
 }
 
@@ -127,6 +178,10 @@ type TraceDigest struct {
 type traceRep struct {
 	buf    bytes.Buffer
 	dLines bytes.Buffer // delivery records only, the digested subset
+	// limit bounds buf: at or past it, N records are dropped and counted
+	// instead of appended. Zero means unbounded.
+	limit      int
+	droppedNet int
 }
 
 func (r *traceRep) ObserveBroadcast(b Broadcast) {
@@ -140,8 +195,16 @@ func (r *traceRep) ObserveDelivery(d Delivery) {
 }
 
 func (r *traceRep) ObserveNet(ev netmodel.TraceEvent) {
+	if r.limit > 0 && r.buf.Len() >= r.limit {
+		r.droppedNet++
+		return
+	}
 	fmt.Fprintf(&r.buf, "N %s %d %d %d %s\n",
 		ev.Kind, ev.From, ev.To, int64(ev.At), netmodel.PayloadName(ev.Payload))
+}
+
+func (r *traceRep) ObservePlan(at sim.Time, ev PlanEvent) {
+	fmt.Fprintf(&r.buf, "F %d %s\n", int64(at), ev)
 }
 
 // digest folds the replication's delivery records into FNV-1a.
@@ -175,6 +238,109 @@ type traceHeader struct {
 	HbTimeout       int64   `json:"hbTimeout,omitempty"`
 	Crash           int     `json:"crash,omitempty"`
 	Sender          int     `json:"sender,omitempty"`
+	// Plan is the configuration's fault plan, flattened one event per
+	// entry, so planned replications replay from the header alone.
+	Plan []planEventJSON `json:"plan,omitempty"`
+}
+
+// planEventJSON is the flat, kind-tagged image of one PlanEvent.
+type planEventJSON struct {
+	Kind   string  `json:"kind"`
+	At     int64   `json:"at,omitempty"`
+	P      int     `json:"p,omitempty"`
+	For    int64   `json:"for,omitempty"`
+	By     []int   `json:"by,omitempty"`
+	Groups [][]int `json:"groups,omitempty"`
+	From   int     `json:"from,omitempty"`
+	To     int     `json:"to,omitempty"`
+	Loss   float64 `json:"loss,omitempty"`
+	Delay  int64   `json:"delay,omitempty"`
+}
+
+// planToJSON flattens a plan for the trace header. A nil plan yields nil.
+func planToJSON(plan *FaultPlan) []planEventJSON {
+	if plan == nil {
+		return nil
+	}
+	out := make([]planEventJSON, 0, len(plan.Events))
+	for _, ev := range plan.Events {
+		var j planEventJSON
+		switch e := ev.(type) {
+		case Crash:
+			j = planEventJSON{Kind: "crash", At: int64(e.At), P: int(e.P)}
+		case Recover:
+			j = planEventJSON{Kind: "recover", At: int64(e.At), P: int(e.P)}
+		case SuspicionBurst:
+			j = planEventJSON{Kind: "suspect", At: int64(e.At), P: int(e.P), For: int64(e.For)}
+			for _, q := range e.By {
+				j.By = append(j.By, int(q))
+			}
+		case Partition:
+			j = planEventJSON{Kind: "partition", At: int64(e.At)}
+			j.Groups = make([][]int, len(e.Groups))
+			for gi, g := range e.Groups {
+				j.Groups[gi] = make([]int, len(g))
+				for i, p := range g {
+					j.Groups[gi][i] = int(p)
+				}
+			}
+		case Heal:
+			j = planEventJSON{Kind: "heal", At: int64(e.At)}
+		case LinkFault:
+			j = planEventJSON{Kind: "link", At: int64(e.At), From: int(e.From), To: int(e.To),
+				Loss: e.Loss, Delay: int64(e.ExtraDelay)}
+		case PreCrash:
+			j = planEventJSON{Kind: "precrash", P: int(e.P)}
+		default:
+			panic(fmt.Sprintf("experiment: unknown plan event type %T", ev))
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// planFromJSON rebuilds a plan from its header image. Unknown kinds are
+// an error: replaying a trace from a newer writer must fail loudly, not
+// silently skip faults.
+func planFromJSON(events []planEventJSON) (*FaultPlan, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	plan := &FaultPlan{Events: make([]PlanEvent, 0, len(events))}
+	for _, j := range events {
+		switch j.Kind {
+		case "crash":
+			plan.Events = append(plan.Events, Crash{At: time.Duration(j.At), P: proto.PID(j.P)})
+		case "recover":
+			plan.Events = append(plan.Events, Recover{At: time.Duration(j.At), P: proto.PID(j.P)})
+		case "suspect":
+			e := SuspicionBurst{At: time.Duration(j.At), P: proto.PID(j.P), For: time.Duration(j.For)}
+			for _, q := range j.By {
+				e.By = append(e.By, proto.PID(q))
+			}
+			plan.Events = append(plan.Events, e)
+		case "partition":
+			e := Partition{At: time.Duration(j.At), Groups: make([][]proto.PID, len(j.Groups))}
+			for gi, g := range j.Groups {
+				e.Groups[gi] = make([]proto.PID, len(g))
+				for i, p := range g {
+					e.Groups[gi][i] = proto.PID(p)
+				}
+			}
+			plan.Events = append(plan.Events, e)
+		case "heal":
+			plan.Events = append(plan.Events, Heal{At: time.Duration(j.At)})
+		case "link":
+			plan.Events = append(plan.Events, LinkFault{At: time.Duration(j.At),
+				From: proto.PID(j.From), To: proto.PID(j.To),
+				Loss: j.Loss, ExtraDelay: time.Duration(j.Delay)})
+		case "precrash":
+			plan.Events = append(plan.Events, PreCrash{P: proto.PID(j.P)})
+		default:
+			return nil, fmt.Errorf("experiment: trace header has unknown plan event kind %q", j.Kind)
+		}
+	}
+	return plan, nil
 }
 
 // headerFromConfig captures cfg (already defaulted by the runner) for
@@ -213,6 +379,7 @@ func headerFromConfig(cfg Config, point, rep int) traceHeader {
 			h.HbTimeout = 3 * h.HbInterval
 		}
 	}
+	h.Plan = planToJSON(cfg.Plan)
 	if ti := cfg.transient; ti != nil {
 		h.Kind = "transient"
 		h.Crash = int(ti.crash)
@@ -222,7 +389,7 @@ func headerFromConfig(cfg Config, point, rep int) traceHeader {
 }
 
 // configFromHeader rebuilds the replication's Config (no observers).
-func configFromHeader(h traceHeader) Config {
+func configFromHeader(h traceHeader) (Config, error) {
 	cfg := Config{
 		Algorithm:       Algorithm(h.Algorithm),
 		N:               h.N,
@@ -247,7 +414,12 @@ func configFromHeader(h traceHeader) Config {
 			Timeout:  time.Duration(h.HbTimeout),
 		}
 	}
-	return cfg
+	plan, err := planFromJSON(h.Plan)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Plan = plan
+	return cfg, nil
 }
 
 // ReplayResult reports one replayed replication.
@@ -263,8 +435,22 @@ type ReplayResult struct {
 // embedded configuration and compares the delivery digests. The
 // underlying simulations are deterministic, so a mismatch means either
 // the trace was edited or the simulator's behaviour changed since the
-// trace was recorded.
+// trace was recorded. Gzip-compressed traces (TraceGzip) are detected
+// automatically.
 func Replay(r io.Reader) ([]ReplayResult, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: gzip trace: %w", err)
+		}
+		defer gz.Close()
+		return replayPlain(gz)
+	}
+	return replayPlain(br)
+}
+
+func replayPlain(r io.Reader) ([]ReplayResult, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []ReplayResult
@@ -315,7 +501,10 @@ func Replay(r io.Reader) ([]ReplayResult, error) {
 // replayOne re-runs a single recorded replication and returns the
 // delivery digest of the re-run.
 func replayOne(h traceHeader) (uint64, error) {
-	cfg := configFromHeader(h)
+	cfg, err := configFromHeader(h)
+	if err != nil {
+		return 0, err
+	}
 	if err := cfg.validate(); err != nil {
 		return 0, fmt.Errorf("experiment: trace header invalid: %w", err)
 	}

@@ -111,6 +111,12 @@ func (d *Detector) setSuspect(p int, suspected bool) {
 type pairState struct {
 	rng           *sim.Rand
 	crashDetected bool // target's crash has been detected: suspicion is permanent
+	// severed marks the directed link broken by a network partition: the
+	// monitor suspects the target like a crash, but reversibly — Restore
+	// (a heal) withdraws the suspicion. severEpoch invalidates detection
+	// callbacks of earlier sever episodes.
+	severed    bool
+	severEpoch uint64
 }
 
 // Sim drives the failure detectors of all n processes according to a
@@ -122,7 +128,10 @@ type Sim struct {
 	detectors []*Detector
 	pairs     [][]pairState // [monitor][target]
 	crashed   []bool
-	quiesced  bool
+	// crashEpoch invalidates the pending detection callbacks of a crash
+	// that was reversed by Recover before its TD elapsed.
+	crashEpoch []uint64
+	quiesced   bool
 }
 
 // StopMistakes permanently silences the stochastic wrong-suspicion
@@ -142,10 +151,11 @@ func NewSim(eng *sim.Engine, n int, qos QoS, rng *sim.Rand) *Sim {
 		panic(fmt.Sprintf("fd: n = %d, need at least 1", n))
 	}
 	s := &Sim{
-		eng:     eng,
-		n:       n,
-		qos:     qos,
-		crashed: make([]bool, n),
+		eng:        eng,
+		n:          n,
+		qos:        qos,
+		crashed:    make([]bool, n),
+		crashEpoch: make([]uint64, n),
 	}
 	s.detectors = make([]*Detector, n)
 	s.pairs = make([][]pairState, n)
@@ -188,15 +198,82 @@ func (s *Sim) Crash(p int) {
 		return
 	}
 	s.crashed[p] = true
+	epoch := s.crashEpoch[p]
 	for q := 0; q < s.n; q++ {
 		if q == p {
 			continue
 		}
 		q := q
 		s.eng.After(s.qos.TD, func() {
+			if s.crashEpoch[p] != epoch {
+				return // the crash was reversed by Recover before TD elapsed
+			}
 			s.pairs[q][p].crashDetected = true
 			s.detectors[q].setSuspect(p, true)
 		})
+	}
+}
+
+// Recover reverses Crash: p is alive again as of the current instant.
+// Pending detections of the reversed crash are invalidated, the permanent
+// suspicion is withdrawn (trust edges fire in ascending monitor order,
+// except on links currently severed by a partition) and the stochastic
+// mistake processes resume. Recovering a live process is a no-op.
+func (s *Sim) Recover(p int) {
+	if !s.crashed[p] {
+		return
+	}
+	s.crashed[p] = false
+	s.crashEpoch[p]++
+	for q := 0; q < s.n; q++ {
+		if q == p {
+			continue
+		}
+		st := &s.pairs[q][p]
+		st.crashDetected = false
+		if !st.severed {
+			s.detectors[q].setSuspect(p, false)
+		}
+	}
+}
+
+// Sever marks the directed link (monitor q, target p) broken by a network
+// partition: q starts suspecting p TD later, exactly like a crash, but
+// reversibly — Restore withdraws the suspicion. Severing a severed link
+// is a no-op.
+func (s *Sim) Sever(q, p int) {
+	if q == p {
+		return
+	}
+	st := &s.pairs[q][p]
+	if st.severed {
+		return
+	}
+	st.severed = true
+	epoch := st.severEpoch
+	s.eng.After(s.qos.TD, func() {
+		if !st.severed || st.severEpoch != epoch {
+			return // healed before the detection time elapsed
+		}
+		s.detectors[q].setSuspect(p, true)
+	})
+}
+
+// Restore heals a severed link: unless p's crash has been detected, q
+// trusts p again at the current instant (an in-progress stochastic
+// mistake of the pair ends with it). Restoring an intact link is a no-op.
+func (s *Sim) Restore(q, p int) {
+	if q == p {
+		return
+	}
+	st := &s.pairs[q][p]
+	if !st.severed {
+		return
+	}
+	st.severed = false
+	st.severEpoch++
+	if !st.crashDetected {
+		s.detectors[q].setSuspect(p, false)
 	}
 }
 
@@ -253,7 +330,7 @@ func (s *Sim) beginMistake(q, p int, duration time.Duration) {
 	}
 	s.detectors[q].setSuspect(p, true)
 	s.eng.After(duration, func() {
-		if !st.crashDetected {
+		if !st.crashDetected && !st.severed {
 			s.detectors[q].setSuspect(p, false)
 		}
 	})

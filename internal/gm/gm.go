@@ -115,6 +115,15 @@ type Config struct {
 	// of the paper's network model; rejoining too eagerly would understate
 	// the exclusion cost the paper charges to the GM algorithm).
 	JoinRetry time.Duration
+	// StaleTimeout is how long a member may stay behind buffered
+	// future-view traffic, with no view installed meanwhile, before it
+	// concludes the group reconfigured without it — it was partitioned
+	// away and excluded in absentia — and rejoins through the join
+	// protocol. A process excluded while reachable learns its exclusion
+	// from the view-change decision it participates in; a partitioned one
+	// cannot, and without this probe it would stay wedged in its old view
+	// forever after the partition heals. Zero selects 5x JoinRetry.
+	StaleTimeout time.Duration
 }
 
 const (
@@ -195,6 +204,13 @@ type GM struct {
 	future map[uint64][]futureMsg
 
 	joinTimer proto.Timer
+	// Staleness probe: armed while evidence of views beyond ours exists
+	// (buffered future membership traffic, or higher-view protocol
+	// messages reported through NoteHigherView), it self-excludes a
+	// member the group reconfigured around (partition).
+	staleTimer  proto.Timer
+	staleViewID uint64
+	maxSeenView uint64
 }
 
 type futureMsg struct {
@@ -206,6 +222,9 @@ type futureMsg struct {
 func New(rt proto.Runtime, cfg Config) *GM {
 	if cfg.JoinRetry <= 0 {
 		cfg.JoinRetry = defaultJoinRetry
+	}
+	if cfg.StaleTimeout <= 0 {
+		cfg.StaleTimeout = 5 * cfg.JoinRetry
 	}
 	return &GM{
 		rt:           rt,
@@ -393,6 +412,75 @@ func (g *GM) onConsensus(from proto.PID, m MsgConsensus) {
 
 func (g *GM) bufferFuture(vc uint64, from proto.PID, payload any) {
 	g.future[vc] = append(g.future[vc], futureMsg{from: from, payload: payload})
+	if g.state != stateExcluded {
+		g.armStaleProbe()
+	}
+}
+
+// NoteHigherView records evidence that views beyond ours exist: the
+// application layer saw a protocol message tagged with a higher view
+// number. A member mid-change sees those transiently; a partitioned-away
+// member sees nothing else, which is what the staleness probe detects.
+func (g *GM) NoteHigherView(vc uint64) {
+	if g.state == stateExcluded || vc <= g.view.ID {
+		return
+	}
+	if vc > g.maxSeenView {
+		g.maxSeenView = vc
+	}
+	g.armStaleProbe()
+}
+
+// armStaleProbe watches a member that is buffering traffic of views it
+// has not installed. One probe is armed at a time.
+func (g *GM) armStaleProbe() {
+	if g.staleTimer != nil {
+		return
+	}
+	g.staleViewID = g.view.ID
+	g.staleTimer = g.rt.After(g.cfg.StaleTimeout, g.staleCheck)
+}
+
+// staleCheck fires one StaleTimeout after future-view traffic appeared.
+// If a view was installed meanwhile, the member is making progress and
+// the probe re-arms; if not — a full timeout behind the group with no
+// install — the group demonstrably reconfigured without us while we could
+// not communicate, so conclude exclusion and rejoin.
+func (g *GM) staleCheck() {
+	g.staleTimer = nil
+	if g.state == stateExcluded {
+		return
+	}
+	stale := g.maxSeenView > g.view.ID
+	for vc := range g.future {
+		if vc > g.view.ID {
+			stale = true
+			break
+		}
+	}
+	if !stale {
+		return
+	}
+	if g.view.ID != g.staleViewID {
+		g.armStaleProbe() // installs are happening; keep watching
+		return
+	}
+	g.selfExclude()
+}
+
+// selfExclude is the partition-side counterpart of an exclusion decided
+// in absentia: abandon any change in progress, tell the application, and
+// enter the join loop — from here the rejoin path is identical to a
+// wrongly excluded process's.
+func (g *GM) selfExclude() {
+	oldView := g.view
+	g.inst = nil
+	g.prevInst = nil
+	g.flushes = make(map[proto.PID][]UnstableMsg)
+	g.targets = make(map[proto.PID]bool)
+	g.state = stateExcluded
+	g.app.Excluded(oldView)
+	g.startJoinLoop()
 }
 
 // bufferWhileExcluded retains membership traffic an excluded process

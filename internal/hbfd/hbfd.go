@@ -61,6 +61,10 @@ type Wrapper struct {
 	lastBeat  []sim.Time
 	suspected []bool
 
+	// epoch guards the beat and check loops: Restart bumps it so a loop
+	// that survived a short crash window cannot double-arm.
+	epoch uint64
+
 	// Counters for analysis.
 	wrongSuspicions int
 	suspicions      int
@@ -113,14 +117,45 @@ func (w *Wrapper) Init() {
 		w.lastBeat[p] = now // grace period: everyone starts trusted
 	}
 	w.beat()
-	w.rt.After(w.cfg.Interval, w.check)
+	w.armCheck()
 	w.inner.Init()
+}
+
+// Restart re-arms the beat and check loops after the wrapped process
+// recovers from a crash: the runtime's crash guard kills the loops the
+// first time a tick fires while crashed, so a resumed process would
+// otherwise stay silent and be suspected forever. Every peer gets a fresh
+// grace period; standing suspicions are kept and withdrawn by the next
+// heartbeat of each live peer.
+func (w *Wrapper) Restart() {
+	w.epoch++ // strand any loop that survived a short crash window
+	now := w.rt.Now()
+	for p := range w.lastBeat {
+		w.lastBeat[p] = now
+	}
+	w.beat()
+	w.armCheck()
 }
 
 // beat multicasts one heartbeat and re-arms.
 func (w *Wrapper) beat() {
 	w.rt.Multicast(Msg{})
-	w.rt.After(w.cfg.Interval, w.beat)
+	e := w.epoch
+	w.rt.After(w.cfg.Interval, func() {
+		if e == w.epoch {
+			w.beat()
+		}
+	})
+}
+
+// armCheck schedules the next silence scan.
+func (w *Wrapper) armCheck() {
+	e := w.epoch
+	w.rt.After(w.cfg.Interval, func() {
+		if e == w.epoch {
+			w.check()
+		}
+	})
 }
 
 // check scans for silent peers and re-arms. Trust edges fire from
@@ -137,7 +172,7 @@ func (w *Wrapper) check() {
 			w.inner.OnSuspect(proto.PID(p))
 		}
 	}
-	w.rt.After(w.cfg.Interval, w.check)
+	w.armCheck()
 }
 
 // OnMessage implements proto.Handler: heartbeat traffic is absorbed,

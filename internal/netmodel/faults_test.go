@@ -1,0 +1,192 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestPartitionDropsCrossGroupCopies(t *testing.T) {
+	h := newHarness(t, DefaultConfig(4))
+	h.nw.SetPartition([][]int{{0, 1}, {2, 3}})
+	h.eng.Schedule(0, func() { h.nw.Multicast(0, "m") })
+	h.eng.Run()
+	// p0 (local) and p1 receive; p2, p3 are partitioned away.
+	if got := len(h.deliveriesTo(0)); got != 1 {
+		t.Fatalf("p0 got %d deliveries, want 1 (local)", got)
+	}
+	if got := len(h.deliveriesTo(1)); got != 1 {
+		t.Fatalf("p1 got %d deliveries, want 1", got)
+	}
+	if got := len(h.deliveriesTo(2)) + len(h.deliveriesTo(3)); got != 0 {
+		t.Fatalf("cross-partition deliveries = %d, want 0", got)
+	}
+	if lost := h.nw.Counters().Lost; lost != 2 {
+		t.Fatalf("Lost = %d, want 2", lost)
+	}
+}
+
+func TestPartitionIsolatesUnlistedProcesses(t *testing.T) {
+	h := newHarness(t, DefaultConfig(3))
+	h.nw.SetPartition([][]int{{0, 1}}) // p2 in no group: isolated
+	h.eng.Schedule(0, func() {
+		h.nw.Multicast(2, "from-isolated")
+		h.nw.Send(0, 2, "to-isolated")
+	})
+	h.eng.Run()
+	// p2 only ever sees its own local copy.
+	d2 := h.deliveriesTo(2)
+	if len(d2) != 1 || d2[0].from != 2 {
+		t.Fatalf("isolated p2 deliveries = %+v, want only its local copy", d2)
+	}
+	if got := len(h.deliveriesTo(0)) + len(h.deliveriesTo(1)); got != 0 {
+		t.Fatalf("deliveries from isolated p2 = %d, want 0", got)
+	}
+}
+
+func TestClearPartitionRestoresReachability(t *testing.T) {
+	h := newHarness(t, DefaultConfig(2))
+	h.nw.SetPartition([][]int{{0}, {1}})
+	h.eng.Schedule(0, func() { h.nw.Send(0, 1, "lost") })
+	h.eng.Schedule(ms(10), func() {
+		h.nw.ClearPartition()
+		h.nw.Send(0, 1, "delivered")
+	})
+	h.eng.Run()
+	d := h.deliveriesTo(1)
+	if len(d) != 1 || d[0].payload != "delivered" {
+		t.Fatalf("post-heal deliveries = %+v, want exactly the healed send", d)
+	}
+}
+
+func TestLinkLossIsDeterministicPerSeed(t *testing.T) {
+	run := func() []delivery {
+		h := newHarness(t, DefaultConfig(2))
+		h.nw.SetFaultRand(sim.NewRand(7))
+		h.nw.SetLink(0, 1, 0.5, 0)
+		for i := 0; i < 40; i++ {
+			i := i
+			h.eng.Schedule(ms(float64(i*5)), func() { h.nw.Send(0, 1, i) })
+		}
+		h.eng.Run()
+		return h.deliveriesTo(1)
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("loss 0.5 delivered %d of 40: want a strict subset", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two identical runs delivered %d and %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLinkLossOneDropsEverything(t *testing.T) {
+	h := newHarness(t, DefaultConfig(3))
+	h.nw.SetFaultRand(sim.NewRand(1))
+	h.nw.SetLink(0, 1, 1, 0)
+	h.eng.Schedule(0, func() { h.nw.Multicast(0, "m") })
+	h.eng.Run()
+	if got := len(h.deliveriesTo(1)); got != 0 {
+		t.Fatalf("fully lossy link delivered %d copies", got)
+	}
+	// The multicast's other destination is unaffected.
+	if got := len(h.deliveriesTo(2)); got != 1 {
+		t.Fatalf("p2 got %d deliveries, want 1", got)
+	}
+	if lost := h.nw.Counters().Lost; lost != 1 {
+		t.Fatalf("Lost = %d, want 1", lost)
+	}
+}
+
+func TestLinkExtraDelayPostponesCPUEntry(t *testing.T) {
+	h := newHarness(t, DefaultConfig(2))
+	h.nw.SetLink(0, 1, 0, 5*time.Millisecond)
+	h.eng.Schedule(0, func() { h.nw.Send(0, 1, "m") })
+	h.eng.Run()
+	d := h.deliveriesTo(1)
+	if len(d) != 1 {
+		t.Fatalf("got %d deliveries, want 1", len(d))
+	}
+	// CPU₀ 0→1, wire 1→2, +5 delay → enters CPU₁ at 7, delivered at 8.
+	if d[0].at != ms(8) {
+		t.Fatalf("delayed delivery at %v, want 8ms", d[0].at)
+	}
+}
+
+func TestClearingLinkFaultDisablesFaultPath(t *testing.T) {
+	h := newHarness(t, DefaultConfig(2))
+	h.nw.SetLink(0, 1, 1, 0)
+	if !h.nw.faults {
+		t.Fatal("fault flag not set after SetLink")
+	}
+	h.nw.SetLink(0, 1, 0, 0)
+	if h.nw.faults {
+		t.Fatal("fault flag still set after clearing the only link fault")
+	}
+	h.eng.Schedule(0, func() { h.nw.Send(0, 1, "m") })
+	h.eng.Run()
+	if got := len(h.deliveriesTo(1)); got != 1 {
+		t.Fatalf("cleared link delivered %d, want 1", got)
+	}
+}
+
+func TestSetLinkValidation(t *testing.T) {
+	h := newHarness(t, DefaultConfig(2))
+	for name, fn := range map[string]func(){
+		"self link":     func() { h.nw.SetLink(0, 0, 0.5, 0) },
+		"loss above 1":  func() { h.nw.SetLink(0, 1, 1.5, 0) },
+		"negative loss": func() { h.nw.SetLink(0, 1, -0.1, 0) },
+		"out of range":  func() { h.nw.SetLink(0, 2, 0.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	h := newHarness(t, DefaultConfig(3))
+	for name, groups := range map[string][][]int{
+		"out of range": {{0, 3}},
+		"duplicate":    {{0, 1}, {1, 2}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			h.nw.SetPartition(groups)
+		}()
+	}
+}
+
+func TestRecoverReversesCrash(t *testing.T) {
+	h := newHarness(t, DefaultConfig(2))
+	h.eng.Schedule(0, func() { h.nw.Crash(1) })
+	h.eng.Schedule(ms(1), func() { h.nw.Send(0, 1, "dropped") })
+	h.eng.Schedule(ms(10), func() {
+		h.nw.Recover(1)
+		h.nw.Send(0, 1, "delivered")
+		h.nw.Send(1, 0, "outbound")
+	})
+	h.eng.Run()
+	d1 := h.deliveriesTo(1)
+	if len(d1) != 1 || d1[0].payload != "delivered" {
+		t.Fatalf("post-recovery deliveries to p1 = %+v", d1)
+	}
+	if d0 := h.deliveriesTo(0); len(d0) != 1 || d0[0].payload != "outbound" {
+		t.Fatalf("recovered process could not send: %+v", d0)
+	}
+}

@@ -23,6 +23,13 @@
 // neither sends nor receives — but messages already handed to CPUᵢ and its
 // queues are still transmitted.
 //
+// Beyond crashes the model supports dynamic environment faults, all
+// applied at the wire→destination handoff so the fault-free hot path pays
+// a single branch: partitions (SetPartition/ClearPartition — copies
+// crossing groups are discarded before the destination CPU) and per-link
+// faults (SetLink — probabilistic loss on an independent random stream,
+// and extra delay entering the destination CPU).
+//
 // The three pipeline stages run on the engine's closure-free scheduling
 // form (sim.ScheduleMsg): each in-flight message hop is a pooled event
 // record carrying (stage, from, to, payload) and dispatching back into
@@ -82,7 +89,7 @@ const (
 	TraceSend    TraceKind = iota + 1 // process hands message to its CPU
 	TraceWire                         // message occupies the network
 	TraceDeliver                      // destination process receives it
-	TraceDrop                         // destination crashed; message discarded
+	TraceDrop                         // message discarded: destination crashed, partitioned away, or link loss
 )
 
 // String returns the lowercase name of the trace kind.
@@ -131,6 +138,7 @@ type Counters struct {
 	Deliveries uint64 // completed deliveries (per destination)
 	Drops      uint64 // deliveries discarded because the target crashed
 	LocalSends uint64 // self-deliveries (no resource usage)
+	Lost       uint64 // copies discarded by a partition or a lossy link
 }
 
 // Pipeline stage opcodes for the closure-free scheduler. The (a, b)
@@ -141,6 +149,7 @@ const (
 	opWireDone             // wire slot over: fan out into destination CPUs
 	opRecvCPUDone          // destination CPU done: deliver or drop
 	opLocalDeliver         // zero-cost self-delivery
+	opFaultArrive          // link extra delay elapsed: enter the destination CPU
 )
 
 // Network simulates the transmission model on top of a sim.Engine.
@@ -157,6 +166,15 @@ type Network struct {
 	// dsts[p] lists every process except p in ascending order: the
 	// multicast fan-out set, computed once instead of per multicast.
 	dsts [][]int
+
+	// Dynamic fault state, consulted at the wire→destination handoff only
+	// while faults is set, so the fault-free hot path pays one branch.
+	faults      bool
+	group       []int             // partition labels; nil when no partition
+	linkLoss    [][]float64       // per directed link loss probability
+	linkDelay   [][]time.Duration // per directed link extra delay
+	activeLinks int               // number of links with a non-zero fault
+	faultRand   *sim.Rand         // loss stream; lazily defaulted
 
 	counters Counters
 }
@@ -212,6 +230,97 @@ func (nw *Network) Crashed(p int) bool { return nw.crashed[p] }
 // crashed process is a no-op.
 func (nw *Network) Crash(p int) { nw.crashed[p] = true }
 
+// Recover reverses Crash: messages flow to and from p again as of the
+// current instant. Recovering a live process is a no-op.
+func (nw *Network) Recover(p int) { nw.crashed[p] = false }
+
+// SetFaultRand installs the random stream that decides lossy-link drops.
+// Installing it up front keeps loss decisions on an independent stream, so
+// a fault-free simulation is bit-identical whether or not the stream was
+// installed. If a lossy link is configured without one, a fixed-seed
+// default is used.
+func (nw *Network) SetFaultRand(r *sim.Rand) { nw.faultRand = r }
+
+// SetPartition splits the processes into isolated groups as of the current
+// instant: a message copy whose source and destination are in different
+// groups is discarded at the wire→destination handoff (the frame is on the
+// medium but the partitioned NIC never receives it), costing the
+// destination CPU nothing. A process listed in no group is isolated on its
+// own. A partition replaces any previous one; ClearPartition heals it.
+// Self-delivery is never partitioned. SetPartition panics on out-of-range
+// or duplicated process indices — the configuration is code, not input.
+func (nw *Network) SetPartition(groups [][]int) {
+	label := make([]int, nw.cfg.N)
+	for p := range label {
+		label[p] = -(p + 1) // unlisted processes are isolated singletons
+	}
+	for gi, g := range groups {
+		for _, p := range g {
+			if p < 0 || p >= nw.cfg.N {
+				panic(fmt.Sprintf("netmodel: partition group contains process %d, want 0..%d", p, nw.cfg.N-1))
+			}
+			if label[p] >= 0 {
+				panic(fmt.Sprintf("netmodel: process %d appears in two partition groups", p))
+			}
+			label[p] = gi
+		}
+	}
+	nw.group = label
+	nw.faults = true
+}
+
+// ClearPartition heals the current partition, if any.
+func (nw *Network) ClearPartition() {
+	nw.group = nil
+	nw.faults = nw.activeLinks > 0
+}
+
+// SetLink installs a fault on the directed link from → to: each message
+// copy on the link is independently lost with probability loss, and
+// surviving copies enter the destination CPU extraDelay late. Setting both
+// to zero clears the link's fault. A new SetLink replaces the link's
+// previous fault. It panics on invalid arguments.
+func (nw *Network) SetLink(from, to int, loss float64, extraDelay time.Duration) {
+	switch {
+	case from < 0 || from >= nw.cfg.N || to < 0 || to >= nw.cfg.N:
+		panic(fmt.Sprintf("netmodel: link %d->%d out of range for N=%d", from, to, nw.cfg.N))
+	case from == to:
+		panic("netmodel: self links carry local deliveries and cannot fault")
+	case loss < 0 || loss > 1:
+		panic(fmt.Sprintf("netmodel: link loss probability %v outside [0,1]", loss))
+	case extraDelay < 0:
+		panic(fmt.Sprintf("netmodel: negative link delay %v", extraDelay))
+	}
+	if nw.linkLoss == nil {
+		nw.linkLoss = make([][]float64, nw.cfg.N)
+		nw.linkDelay = make([][]time.Duration, nw.cfg.N)
+		for p := 0; p < nw.cfg.N; p++ {
+			nw.linkLoss[p] = make([]float64, nw.cfg.N)
+			nw.linkDelay[p] = make([]time.Duration, nw.cfg.N)
+		}
+	}
+	was := nw.linkLoss[from][to] != 0 || nw.linkDelay[from][to] != 0
+	now := loss != 0 || extraDelay != 0
+	nw.linkLoss[from][to] = loss
+	nw.linkDelay[from][to] = extraDelay
+	switch {
+	case now && !was:
+		nw.activeLinks++
+	case was && !now:
+		nw.activeLinks--
+	}
+	if loss > 0 && nw.faultRand == nil {
+		nw.faultRand = sim.NewRand(1)
+	}
+	nw.faults = nw.group != nil || nw.activeLinks > 0
+}
+
+// reachable reports whether a copy from `from` may reach `to` under the
+// current partition.
+func (nw *Network) reachable(from, to int) bool {
+	return nw.group == nil || nw.group[from] == nw.group[to]
+}
+
 func (nw *Network) emit(kind TraceKind, at sim.Time, from, to int, payload any) {
 	if nw.trace != nil {
 		nw.trace(TraceEvent{Kind: kind, At: at, From: from, To: to, Payload: payload})
@@ -261,16 +370,18 @@ func (nw *Network) HandleMsg(op uint8, a, b int, payload any) {
 		nw.throughWire(a, b, payload)
 	case opWireDone:
 		if b >= 0 {
-			nw.intoCPU(b, a, payload)
+			nw.arrive(b, a, payload)
 		} else {
 			for _, dst := range nw.dsts[a] {
-				nw.intoCPU(dst, a, payload)
+				nw.arrive(dst, a, payload)
 			}
 		}
 	case opRecvCPUDone:
 		nw.deliverAt(b, a, payload)
 	case opLocalDeliver:
 		nw.deliverLocal(a, payload)
+	case opFaultArrive:
+		nw.intoCPU(b, a, payload)
 	default:
 		panic(fmt.Sprintf("netmodel: unknown pipeline op %d", op))
 	}
@@ -330,6 +441,38 @@ func (nw *Network) throughWire(from, to int, payload any) {
 	}
 	nw.emit(TraceWire, start, from, traceTo, payload)
 	nw.eng.ScheduleMsg(done, nw, opWireDone, from, to, payload)
+}
+
+// arrive is the wire→destination handoff, where partitions and link
+// faults act: a copy addressed across a partition or lost on a lossy link
+// is discarded before it occupies the destination CPU, and a link's extra
+// delay postpones the CPU entry. Fault-free networks skip straight to
+// intoCPU on one branch. Destinations are visited in fixed order, so the
+// loss stream's draws are deterministic.
+func (nw *Network) arrive(dst, from int, payload any) {
+	if nw.faults {
+		if !nw.reachable(from, dst) {
+			nw.lose(from, dst, payload)
+			return
+		}
+		if nw.linkLoss != nil {
+			if loss := nw.linkLoss[from][dst]; loss > 0 && nw.faultRand.Float64() < loss {
+				nw.lose(from, dst, payload)
+				return
+			}
+			if d := nw.linkDelay[from][dst]; d > 0 {
+				nw.eng.AfterMsg(d, nw, opFaultArrive, from, dst, payload)
+				return
+			}
+		}
+	}
+	nw.intoCPU(dst, from, payload)
+}
+
+// lose discards a copy to a fault (partition or link loss).
+func (nw *Network) lose(from, dst int, payload any) {
+	nw.counters.Lost++
+	nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
 }
 
 // intoCPU occupies the destination CPU for λ and hands the message to the

@@ -96,6 +96,10 @@ type System struct {
 
 	procs   []*Proc
 	started bool
+	// partLabel is the current partition's group label per process, nil
+	// when the network is whole; it tracks which directed failure-detector
+	// links are severed so Partition/Heal keep net and fd views agreeing.
+	partLabel []int
 }
 
 // NewSystem builds a system of n processes. rng is the root randomness;
@@ -116,6 +120,8 @@ func NewSystem(eng *sim.Engine, netCfg netmodel.Config, qos fd.QoS, rng *sim.Ran
 		s.procs[p] = proc
 		s.FDs.Detector(p).SetListener(fdListener{proc})
 	}
+	// Forked last so every stream above is unchanged by its existence.
+	s.Net.SetFaultRand(rng.Fork("netfault"))
 	return s
 }
 
@@ -169,6 +175,98 @@ func (s *System) CrashAt(p PID, at sim.Time) {
 	s.Eng.Schedule(at, func() { s.Crash(p) })
 }
 
+// Recover revives crashed process p at the current instant: the network
+// resumes carrying messages to and from it, the failure detectors stop
+// suspecting it (trust edges fire at the other processes in ascending
+// order, pending detections of the reversed crash are invalidated), and
+// the handler runs again. If remake is non-nil, a fresh handler
+// incarnation replaces the old one — timers of the previous incarnation
+// are invalidated and the new handler's Init runs — which is how a true
+// crash-recovery with rejoin is modelled; a nil remake resumes the
+// existing handler with its state intact, the long-outage model.
+// Recovering a live process is a no-op.
+func (s *System) Recover(p PID, remake func(Runtime) Handler) {
+	proc := s.procs[p]
+	if !proc.crashed {
+		return
+	}
+	s.Net.Recover(int(p))
+	s.FDs.Recover(int(p))
+	proc.crashed = false
+	if remake != nil {
+		proc.gen++ // the previous incarnation's timers must never fire
+		h := remake(proc)
+		if h == nil {
+			panic(fmt.Sprintf("proto: Recover remake returned nil handler for process %d", p))
+		}
+		proc.handler = h
+		h.Init()
+	}
+}
+
+// Partition splits the system into isolated groups as of the current
+// instant: the network discards copies crossing groups (see
+// netmodel.SetPartition) and every failure detector treats unreachable
+// processes like crashed ones — suspicion TD after the split, trust on
+// heal. A process listed in no group is isolated on its own. A new
+// partition replaces the previous one, severing and restoring only the
+// directed links whose reachability changed; Heal removes it.
+func (s *System) Partition(groups [][]PID) {
+	n := len(s.procs)
+	label := make([]int, n)
+	for p := range label {
+		label[p] = -(p + 1)
+	}
+	ints := make([][]int, len(groups))
+	for gi, g := range groups {
+		ints[gi] = make([]int, len(g))
+		for i, p := range g {
+			if int(p) < 0 || int(p) >= n {
+				panic(fmt.Sprintf("proto: partition group contains process %d, want 0..%d", p, n-1))
+			}
+			label[p] = gi
+			ints[gi][i] = int(p)
+		}
+	}
+	old := s.partLabel
+	cross := func(lab []int, q, p int) bool { return lab != nil && lab[q] != lab[p] }
+	for q := 0; q < n; q++ {
+		for p := 0; p < n; p++ {
+			if p == q {
+				continue
+			}
+			was, now := cross(old, q, p), cross(label, q, p)
+			switch {
+			case now && !was:
+				s.FDs.Sever(q, p)
+			case was && !now:
+				s.FDs.Restore(q, p)
+			}
+		}
+	}
+	s.partLabel = label
+	s.Net.SetPartition(ints)
+}
+
+// Heal removes the current partition: reachability is restored and every
+// suspicion the split caused is withdrawn (trust edges in ascending
+// (monitor, target) order). Healing a whole network is a no-op.
+func (s *System) Heal() {
+	if s.partLabel == nil {
+		return
+	}
+	n := len(s.procs)
+	for q := 0; q < n; q++ {
+		for p := 0; p < n; p++ {
+			if p != q && s.partLabel[q] != s.partLabel[p] {
+				s.FDs.Restore(q, p)
+			}
+		}
+	}
+	s.partLabel = nil
+	s.Net.ClearPartition()
+}
+
 // PreCrash establishes the crash-steady initial condition: p has been
 // crashed for a long time, every failure detector suspects it permanently,
 // and no detection edges fire. Call before Start.
@@ -195,6 +293,11 @@ type Proc struct {
 	rng     *sim.Rand
 	handler Handler
 	crashed bool
+	// gen is the handler incarnation: timers capture it at creation and
+	// only fire while it is current, so a recovery that rebuilds the
+	// handler (System.Recover with remake) strands the old incarnation's
+	// timers instead of letting them mutate a detached state machine.
+	gen uint64
 }
 
 var _ Runtime = (*Proc)(nil)
@@ -234,10 +337,12 @@ func (p *Proc) Multicast(payload any) {
 }
 
 // After implements Runtime. The callback is dropped if the process has
-// crashed by the time it fires.
+// crashed, or its handler incarnation has been replaced by a recovery, by
+// the time it fires.
 func (p *Proc) After(d time.Duration, fn func()) Timer {
+	gen := p.gen
 	return p.sys.Eng.After(d, func() {
-		if !p.crashed {
+		if !p.crashed && p.gen == gen {
 			fn()
 		}
 	})

@@ -103,6 +103,11 @@ type Config struct {
 	// BufferLimit bounds protocol messages buffered while excluded;
 	// zero selects the default.
 	BufferLimit int
+	// SeqBase is the initial value of the local A-broadcast counter. A
+	// recovered incarnation passes the number of message IDs its previous
+	// incarnations consumed, so new IDs never collide with pre-crash ones
+	// (a collision would be silently swallowed by duplicate suppression).
+	SeqBase uint64
 	// OnView, if non-nil, observes every view this process enters:
 	// the initial view, each installed view, and rejoin views.
 	OnView func(v gm.View)
@@ -179,6 +184,7 @@ func New(rt proto.Runtime, cfg Config) *Process {
 	p := &Process{
 		rt:        rt,
 		cfg:       cfg,
+		bcastSeq:  cfg.SeqBase,
 		received:  make(map[proto.MsgID]any),
 		delivered: proto.NewIDTracker(),
 	}
@@ -444,6 +450,13 @@ func (p *Process) acceptProtocol(from proto.PID, view uint64, payload any) bool 
 		}
 		return false
 	}
+	if view > p.gm.View().ID {
+		// Sequencing traffic of a view we never installed: evidence the
+		// group reconfigured without us (we were partitioned away). The
+		// membership service's staleness probe turns persistent evidence
+		// into a rejoin.
+		p.gm.NoteHigherView(view)
+	}
 	return p.gm.Normal() && view == p.gm.View().ID
 }
 
@@ -626,5 +639,19 @@ func (p *Process) InstallSync(v gm.View, payload any) {
 	p.queued = nil
 	for _, qb := range queued {
 		p.rt.Multicast(MsgData{ID: qb.id, Body: qb.body})
+	}
+	// Messages this process broadcast in its previous membership that the
+	// group never sequenced — typically lost to the partition that got us
+	// excluded — are re-announced in ID order, so rejoining also recovers
+	// them. Receivers absorb duplicates.
+	ids := make([]proto.MsgID, 0, len(p.received))
+	for id := range p.received {
+		if id.Origin == p.rt.ID() && !p.delivered.Seen(id) {
+			ids = append(ids, id)
+		}
+	}
+	proto.SortMsgIDs(ids)
+	for _, id := range ids {
+		p.rt.Multicast(MsgData{ID: id, Body: p.received[id]})
 	}
 }

@@ -180,9 +180,23 @@ type Trace = experiment.Trace
 // TraceDigest names one replication's delivery digest.
 type TraceDigest = experiment.TraceDigest
 
+// TraceOption configures a Trace exporter at construction.
+type TraceOption = experiment.TraceOption
+
+// TraceGzip makes the trace exporter gzip-compress its output (one gzip
+// member per Flush); ReplayTrace auto-detects compressed traces.
+func TraceGzip() TraceOption { return experiment.TraceGzip() }
+
+// TraceBufferLimit bounds each replication's in-memory trace buffer to
+// roughly the given number of bytes by dropping further network
+// lifecycle records past it (broadcast and delivery records — the
+// replayable, digested core — are always kept). A "T <dropped>" marker
+// records the truncation.
+func TraceBufferLimit(bytes int) TraceOption { return experiment.TraceBufferLimit(bytes) }
+
 // NewTrace creates a trace exporter writing to w; attach it by appending
 // its Observer method to Config.Observers.
-func NewTrace(w io.Writer) *Trace { return experiment.NewTrace(w) }
+func NewTrace(w io.Writer, opts ...TraceOption) *Trace { return experiment.NewTrace(w, opts...) }
 
 // ReplayResult reports one replayed trace replication: the recorded and
 // re-run delivery digests and whether they match.
@@ -192,6 +206,58 @@ type ReplayResult = experiment.ReplayResult
 // embedded configuration and compares delivery digests. Simulations are
 // deterministic in virtual time, so traces replay identically anywhere.
 func ReplayTrace(r io.Reader) ([]ReplayResult, error) { return experiment.Replay(r) }
+
+// FaultPlan is a deterministic, virtual-time-ordered timeline of typed
+// fault- and environment-injection events: crashes and recoveries,
+// suspicion bursts, partitions and heals, per-link loss and delay. One
+// plan drives every surface — Config.Plan for experiments, Sweep.Plans
+// to cross whole failure schedules with every other axis, and
+// ClusterConfig.Plan (or the Cluster's *At methods) interactively — and
+// planned runs stay deterministic, sweepable and trace-replayable.
+type FaultPlan = experiment.FaultPlan
+
+// NewFaultPlan creates a plan from the given events; the plan's
+// chainable helpers (Crash, Recover, Suspect, Partition, Heal, Link,
+// PreCrash) append further ones.
+func NewFaultPlan(events ...PlanEvent) *FaultPlan {
+	return experiment.NewFaultPlan(events...)
+}
+
+// PlanEvent is one typed event on a FaultPlan's timeline: one of Crash,
+// Recover, SuspicionBurst, Partition, Heal, LinkFault or PreCrash.
+type PlanEvent = experiment.PlanEvent
+
+// Crash kills a process at an instant (reversible by Recover).
+type Crash = experiment.Crash
+
+// Recover revives a crashed process: GM algorithms rejoin through the
+// membership service with state transfer, the crash-stop FD algorithm
+// resumes from its pre-crash state (a long outage).
+type Recover = experiment.Recover
+
+// SuspicionBurst injects a scripted wrong suspicion of a process, by the
+// listed monitors or (nil) by everyone.
+type SuspicionBurst = experiment.SuspicionBurst
+
+// Partition splits the system into isolated groups; unlisted processes
+// are isolated alone. Failure detectors treat unreachable processes like
+// crashed ones until the partition heals.
+type Partition = experiment.Partition
+
+// Heal removes the partition in force.
+type Heal = experiment.Heal
+
+// LinkFault degrades one directed link: probabilistic loss and/or extra
+// delay. Zero both to clear it.
+type LinkFault = experiment.LinkFault
+
+// PreCrash establishes the crash-steady initial condition for a process;
+// Config.Crashed and ClusterConfig.PreCrashed are constructors for it.
+type PreCrash = experiment.PreCrash
+
+// PlanObserver is the optional observer interface receiving fault-plan
+// events at the instants they apply.
+type PlanObserver = experiment.PlanObserver
 
 // HeartbeatDetector returns a heartbeat failure-detector tuning (in
 // milliseconds, the paper's unit) for Config.Detector, Sweep.Detectors
