@@ -75,6 +75,17 @@ type ClusterConfig struct {
 	// same events through the same machinery, so a scripted session and a
 	// planned one are interchangeable.
 	Plan *FaultPlan
+	// Throughput, when positive, runs the paper's Poisson workload on the
+	// cluster: every non-pre-crashed process A-broadcasts nil bodies at
+	// rate Throughput/N, exactly as experiments do. Zero starts the
+	// sources silent — the load methods (SetRateAt and friends) can still
+	// raise them mid-run.
+	Throughput float64
+	// Load is a workload-shaping timeline installed at construction: rate
+	// changes, bursts, per-sender mutes, pauses. The interactive load
+	// methods (SetRateAt, BurstAt, MuteAt, UnmuteAt, PauseAt, ResumeAt)
+	// schedule the same events through the same machinery.
+	Load *LoadPlan
 	// OnDeliver observes every A-delivery at every process.
 	OnDeliver func(d Delivery)
 	// OnView observes view installations (GM algorithms only).
@@ -82,6 +93,9 @@ type ClusterConfig struct {
 	// OnFault, if non-nil, observes every plan event at the instant it
 	// applies.
 	OnFault func(at time.Duration, ev PlanEvent)
+	// OnLoad, if non-nil, observes every load event at the instant it
+	// applies.
+	OnLoad func(at time.Duration, ev LoadEvent)
 	// Heartbeat, if non-nil, replaces the abstract QoS failure-detector
 	// model with a concrete heartbeat detector whose messages share the
 	// contended network (see internal/hbfd). QoS should then be zero.
@@ -103,6 +117,10 @@ type HeartbeatConfig = experiment.Heartbeat
 // link loss and delay — are FaultPlan events: give a full timeline in
 // ClusterConfig.Plan, or script interactively with the *At methods and
 // Apply, which schedule the same events through the same machinery.
+// Load — the built-in Poisson workload's rate, bursts, mutes and pauses
+// — is LoadPlan events the same way: ClusterConfig.Throughput and Load
+// at construction, SetRateAt/BurstAt/MuteAt/UnmuteAt/PauseAt/ResumeAt
+// and ApplyLoad interactively.
 type Cluster struct {
 	cfg      ClusterConfig
 	eng      *sim.Engine
@@ -110,6 +128,7 @@ type Cluster struct {
 	bcast    []func(body any) MessageID
 	wrappers []*hbfd.Wrapper // non-nil entries when Heartbeat is enabled
 	faults   *experiment.Faults
+	loads    *experiment.Loads
 	// endpoint[p] constructs one protocol-stack incarnation of process p;
 	// RecoverAt uses it to rebuild after a GM crash-recovery.
 	endpoint []func(rt proto.Runtime, rejoin bool) proto.Handler
@@ -134,6 +153,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	if err := cfg.Plan.Validate(cfg.N); err != nil {
 		panic(err)
+	}
+	if err := cfg.Load.Validate(cfg.N); err != nil {
+		panic(err)
+	}
+	if cfg.Throughput < 0 {
+		panic("repro: negative throughput")
 	}
 	eng := sim.New()
 	netCfg := netmodel.Config{N: cfg.N, Lambda: Milliseconds(cfg.Lambda), Slot: time.Millisecond}
@@ -263,6 +288,33 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Plan != nil {
 		c.faults.Install(cfg.Plan)
 	}
+
+	// The Poisson workload: one source per non-pre-crashed process at
+	// rate Throughput/N (possibly zero, i.e. silent until a load event
+	// raises it), on an independent random stream — mirroring the
+	// experiment scenarios' Setup.
+	var senders []int
+	for p := 0; p < cfg.N; p++ {
+		if !preCrashed[proto.PID(p)] {
+			senders = append(senders, p)
+		}
+	}
+	c.loads = experiment.NewSpreadLoads(eng, sim.NewRand(cfg.Seed).Fork("load"),
+		cfg.Throughput, cfg.N, senders, func(s int) {
+			if c.sys.Proc(proto.PID(s)).Crashed() {
+				return // crashed mid-run: no load generated
+			}
+			c.sentBy[s]++
+			c.bcast[s](nil)
+		})
+	c.loads.OnEvent = func(ev LoadEvent) {
+		if cfg.OnLoad != nil {
+			cfg.OnLoad(eng.Now().Duration(), ev)
+		}
+	}
+	if cfg.Load != nil {
+		c.loads.Install(cfg.Load)
+	}
 	return c
 }
 
@@ -375,12 +427,63 @@ func (c *Cluster) SetLinkAt(at time.Duration, from, to int, loss float64, extraD
 	c.Apply(LinkFault{At: at, From: proto.PID(from), To: proto.PID(to), Loss: loss, ExtraDelay: extraDelay})
 }
 
+// ApplyLoad schedules one load-plan event at its instant — the primitive
+// every load method below is sugar for. The cluster's Poisson sources
+// exist whatever ClusterConfig.Throughput was (a zero throughput just
+// starts them silent), so load events always have something to act on.
+// It panics on an invalid event or one scheduled in the simulation's
+// past.
+func (c *Cluster) ApplyLoad(ev LoadEvent) {
+	if err := (&LoadPlan{Events: []LoadEvent{ev}}).Validate(c.cfg.N); err != nil {
+		panic(err)
+	}
+	c.loads.Schedule(ev)
+}
+
+// SetRateAt schedules a rate change at virtual time at: sender
+// AllSenders (-1) re-spreads rate as a new total throughput (each
+// process sends at rate/N), a concrete sender gets rate as its absolute
+// per-second rate. The gap in flight rescales deterministically, so
+// setting the current rate is a bit-identical no-op.
+func (c *Cluster) SetRateAt(at time.Duration, sender int, rate float64) {
+	c.ApplyLoad(RateChange{At: at, Sender: proto.PID(sender), Rate: rate})
+}
+
+// BurstAt schedules a rate spike: the rate of sender (AllSenders for
+// everyone) is multiplied by factor during [at, at+d).
+func (c *Cluster) BurstAt(at, d time.Duration, sender int, factor float64) {
+	c.ApplyLoad(Burst{At: at, For: d, Sender: proto.PID(sender), Factor: factor})
+}
+
+// MuteAt schedules a mute of sender (AllSenders for everyone) at virtual
+// time at: its source stops firing but keeps its logical rate and frozen
+// gap for UnmuteAt.
+func (c *Cluster) MuteAt(at time.Duration, sender int) {
+	c.ApplyLoad(Mute{At: at, Sender: proto.PID(sender)})
+}
+
+// UnmuteAt schedules the lifting of a mute of sender at virtual time at.
+func (c *Cluster) UnmuteAt(at time.Duration, sender int) {
+	c.ApplyLoad(Unmute{At: at, Sender: proto.PID(sender)})
+}
+
+// PauseAt schedules a pause of the whole workload at virtual time at.
+func (c *Cluster) PauseAt(at time.Duration) { c.ApplyLoad(Pause{At: at}) }
+
+// ResumeAt schedules the lifting of a pause at virtual time at; senders
+// muted individually stay muted.
+func (c *Cluster) ResumeAt(at time.Duration) { c.ApplyLoad(Resume{At: at}) }
+
 // Run advances virtual time by d, processing all events on the way.
 func (c *Cluster) Run(d time.Duration) {
 	c.eng.RunUntil(c.eng.Now().Add(d))
 }
 
-// RunUntilIdle processes events until none remain.
+// RunUntilIdle processes events until none remain. A cluster whose
+// Poisson workload is active never idles — it keeps scheduling arrivals
+// forever — so pause or silence the workload (PauseAt, SetRateAt with
+// rate 0) before draining with this method; use Run to advance a live
+// workload by a bounded amount instead.
 func (c *Cluster) RunUntilIdle() { c.eng.Run() }
 
 // Crashed reports whether process p has crashed.

@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, partition, churn, smoke, ablations or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, partition, churn, overload, burst, smoke, ablations or all")
 	quickFlag   = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
 	seedFlag    = flag.Uint64("seed", 1, "base random seed")
 	repsFlag    = flag.Int("reps", 0, "replications per point (0 = scenario default)")
@@ -91,6 +91,10 @@ func main() {
 		figPartition()
 	case "churn":
 		figChurn()
+	case "overload":
+		figOverload()
+	case "burst":
+		figBurst()
 	case "smoke":
 		figSmoke()
 	case "ablations":
@@ -106,6 +110,8 @@ func main() {
 		figHeartbeat()
 		figPartition()
 		figChurn()
+		figOverload()
+		figBurst()
 		ablations()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
@@ -625,6 +631,134 @@ func figChurn() {
 	}, n, plan, "churn")
 }
 
+// figOverload crosses a FaultPlan with a LoadPlan: a majority/minority
+// partition opens mid-measurement and a global rate burst lands while
+// the network is still split ("overload while partitioned"). The grid
+// runs both algorithms through all four plan combinations — neither,
+// partition only, burst only, both — so each effect and their
+// interaction is separable. The latency tail is where the algorithms
+// part: the FD algorithm serves the majority through both stresses and
+// sheds the rest, while the GM algorithm pays for completeness with a
+// tail that the overload compounds (the rejoining minority's state
+// transfer now competes with the burst's backlog).
+func figOverload() {
+	const n = 5
+	warmup := time.Second
+	plan := repro.NewFaultPlan().
+		Partition(warmup+1500*time.Millisecond, []repro.ProcessID{0, 1, 2}, []repro.ProcessID{3, 4}).
+		Heal(warmup + 3*time.Second)
+	load := repro.NewLoadPlan().
+		Burst(warmup+2*time.Second, 1500*time.Millisecond, repro.AllSenders, 4)
+	thrs := []float64{10, 50, 100}
+	if *quickFlag {
+		thrs = []float64{10, 50}
+	}
+	reps := 3
+	if *quickFlag {
+		reps = 2
+	}
+	if *repsFlag > 0 {
+		reps = *repsFlag
+	}
+	fmt.Printf("# Figure O: overload while partitioned, n=%d, groups {0 1 2}|{3 4} split +1.5s..+3s,\n", n)
+	fmt.Println("# 4x global burst +2s..+3.5s of a 5s measure, TD=10ms; all four plan combinations.")
+	fmt.Println("# throughput(1/s)\talg\tfaults\tload\tmean(ms)\tci\tP50\tP90\tP99\tmax\tundelivered")
+	var cfgs []repro.Config
+	for _, thr := range thrs {
+		cfgs = append(cfgs, repro.Sweep{
+			Base: repro.Config{
+				Algorithm:    repro.FD,
+				N:            n,
+				Throughput:   thr,
+				QoS:          repro.Detectors(10, 0, 0),
+				Seed:         *seedFlag,
+				Warmup:       warmup,
+				Measure:      5 * time.Second,
+				Drain:        15 * time.Second,
+				Replications: reps,
+			},
+			Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+			Plans:      []*repro.FaultPlan{nil, plan},
+			Loads:      []*repro.LoadPlan{nil, load},
+		}.Points()...)
+	}
+	res := runner.SteadyAll(cfgs)
+	for i, r := range res {
+		faults, loadName := "none", "none"
+		if r.Config.Plan != nil {
+			faults = "partition"
+		}
+		if r.Config.Load != nil {
+			loadName = "burst"
+		}
+		fmt.Printf("%.0f\t%v\t%s\t%s\t%s\t%s\t%.4f\t%d\n",
+			r.Config.Throughput, r.Config.Algorithm, faults, loadName,
+			cellAny(r), qcell(r.Quantiles, r.Quantiles.N > 0), r.Quantiles.Max, r.Undelivered)
+		if i%8 == 7 {
+			// Blank line between throughput blocks for gnuplot indexing.
+			fmt.Println()
+		}
+	}
+}
+
+// figBurst measures recovery from a pure overload spike, no faults: a
+// 10x global burst for 500ms mid-measurement. During the spike the
+// offered load far exceeds the wire's capacity and a backlog builds;
+// the figure reports how far the latency tail stretches (P99 and max —
+// the max is reached by the last message to clear the backlog, so it
+// reads as the recovery horizon) and whether everything was eventually
+// delivered.
+func figBurst() {
+	const n = 3
+	warmup := time.Second
+	load := repro.NewLoadPlan().
+		Burst(warmup+2*time.Second, 500*time.Millisecond, repro.AllSenders, 10)
+	thrs := []float64{10, 50, 100, 200}
+	if *quickFlag {
+		thrs = []float64{10, 100}
+	}
+	reps := 3
+	if *quickFlag {
+		reps = 2
+	}
+	if *repsFlag > 0 {
+		reps = *repsFlag
+	}
+	fmt.Printf("# Figure B: recovery from a 10x burst (500ms spike at +2s of a 5s measure), n=%d\n", n)
+	fmt.Println("# max is the latency of the last message to clear the backlog: the recovery horizon.")
+	fmt.Println("# throughput(1/s)\talg\tload\tmean(ms)\tci\tP50\tP90\tP99\tmax\tundelivered")
+	var cfgs []repro.Config
+	for _, thr := range thrs {
+		cfgs = append(cfgs, repro.Sweep{
+			Base: repro.Config{
+				Algorithm:    repro.FD,
+				N:            n,
+				Throughput:   thr,
+				Seed:         *seedFlag,
+				Warmup:       warmup,
+				Measure:      5 * time.Second,
+				Drain:        15 * time.Second,
+				Replications: reps,
+			},
+			Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+			Loads:      []*repro.LoadPlan{nil, load},
+		}.Points()...)
+	}
+	res := runner.SteadyAll(cfgs)
+	for i, r := range res {
+		loadName := "steady"
+		if r.Config.Load != nil {
+			loadName = "burst-10x"
+		}
+		fmt.Printf("%.0f\t%v\t%s\t%s\t%s\t%.4f\t%d\n",
+			r.Config.Throughput, r.Config.Algorithm, loadName,
+			cellAny(r), qcell(r.Quantiles, r.Quantiles.N > 0), r.Quantiles.Max, r.Undelivered)
+		if i%4 == 3 {
+			fmt.Println()
+		}
+	}
+}
+
 // planFigure is the shared body of the plan-driven figures: both
 // algorithms with and without the plan, across the throughput sweep,
 // reporting mean/CI/quantiles plus the undelivered count.
@@ -689,13 +823,15 @@ func cellAny(res repro.Result) string {
 	return fmt.Sprintf("%.2f\t%.2f", res.Latency.Mean, res.Latency.CI95)
 }
 
-// figSmoke runs a fixed two-point grid — the abstract QoS model and the
-// concrete heartbeat detector — with the trace observer attached, and
-// prints each replication's delivery digest plus each point's summary.
-// Everything is pinned (seed, durations, grid), so the output is
-// byte-stable across machines and lives in golden/figures_smoke.tsv; CI
-// regenerates it and fails on any diff, then replays the trace. The
-// -trace flag selects the trace file (default: discard).
+// figSmoke runs three fixed pinned grids — the abstract QoS model vs the
+// concrete heartbeat detector, a plan-driven partition-and-heal pair,
+// and a load-shaped burst-and-mute pair — with the trace observer
+// attached, and prints each replication's delivery digest plus each
+// point's summary. Everything is pinned (seed, durations, grids), so the
+// output is byte-stable across machines and lives in
+// golden/figures_smoke.tsv; CI regenerates it and fails on any diff,
+// then replays the trace. The -trace flag selects the trace file
+// (default: discard).
 func figSmoke() {
 	var w io.Writer = io.Discard
 	if *traceFlag != "" {
@@ -764,6 +900,45 @@ func figSmoke() {
 	fmt.Println("# Plan grid: partition {0 1}|{2} at 600ms, heal at 900ms; FD (point 0) vs GM (point 1)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
 	for i, r := range planRes {
+		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\n", i,
+			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages, r.Undelivered)
+	}
+	fmt.Println("# point\trep\tdelivery_digest")
+	for _, d := range tr.Digests() {
+		fmt.Printf("%d\t%d\t%016x\n", d.Point, d.Rep, d.Digest)
+	}
+	if err := tr.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace flush: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Third pinned grid: one load-shaped point per algorithm — a 4x burst
+	// plus a mute/unmute of sender 2 mid-measure — exercising the LoadPlan
+	// path end to end, trace record and replay included.
+	load := repro.NewLoadPlan().
+		Burst(400*time.Millisecond, 200*time.Millisecond, repro.AllSenders, 4).
+		Mute(600*time.Millisecond, 2).
+		Unmute(900*time.Millisecond, 2)
+	loadSweep := repro.Sweep{
+		Base: repro.Config{
+			Algorithm:    repro.FD,
+			N:            3,
+			Throughput:   50,
+			QoS:          repro.Detectors(10, 0, 0),
+			Seed:         1,
+			Warmup:       200 * time.Millisecond,
+			Measure:      time.Second,
+			Drain:        5 * time.Second,
+			Replications: 2,
+			Load:         load,
+			Observers:    []repro.ObserverFactory{tr.Observer},
+		},
+		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+	}
+	loadRes := runner.Sweep(loadSweep)
+	fmt.Println("# Load grid: 4x burst 400..600ms + mute p2 600..900ms; FD (point 0) vs GM (point 1)")
+	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
+	for i, r := range loadRes {
 		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\n", i,
 			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages, r.Undelivered)
 	}

@@ -101,6 +101,14 @@ type Config struct {
 	// export — trace headers embed the plan, so planned replications
 	// replay. A nil plan is the fault-free timeline.
 	Plan *FaultPlan
+	// Load is the replication's workload-shaping timeline: rate changes
+	// (global or per-sender), bursts, per-sender mutes, whole-workload
+	// pauses. It is FaultPlan's load-side sibling and composes the same
+	// way — Sweep.Loads crosses shaping schedules with every other axis
+	// (Sweep.Plans included, so "overload while partitioned" is one grid
+	// point), LoadObserver watches events apply, and trace headers embed
+	// the plan for replay. A nil plan is the constant-rate workload.
+	Load *LoadPlan
 	// Renumber enables the FD algorithm's coordinator renumbering
 	// optimisation (§7, crash-steady discussion). On by default through
 	// DisableRenumber.
@@ -186,6 +194,9 @@ func (c Config) validate() error {
 	if err := c.Plan.validate(c.N); err != nil {
 		return err
 	}
+	if err := c.Load.validate(c.N); err != nil {
+		return err
+	}
 	if pre := len(c.preCrashOrder()); pre >= (c.N+1)/2 {
 		return fmt.Errorf("experiment: %d pre-crashes exceed the f < n/2 bound for n = %d", pre, c.N)
 	}
@@ -258,6 +269,10 @@ type cluster struct {
 	// faults is the replication's single fault-injection path: the plan
 	// installs through it and scripted scenario faults fire through it.
 	faults *Faults
+	// loads is the replication's single workload-shaping path, built by
+	// setupLoad when the scenario installs its workload; Config.Load
+	// installs through it.
+	loads *Loads
 	// endpoint[p] constructs one protocol-stack incarnation for process p
 	// (algorithm plus heartbeat wrapper when configured), refreshing
 	// bcast[p] and wrappers[p]; recovery uses it to rebuild.
@@ -275,6 +290,9 @@ type cluster struct {
 	// onPlanEvent, if non-nil, observes plan events as they apply — the
 	// feed of PlanObservers.
 	onPlanEvent func(ev PlanEvent)
+	// onLoadEvent, if non-nil, observes load events as they apply — the
+	// feed of LoadObservers.
+	onLoadEvent func(ev LoadEvent)
 	// broadcasts and deliveredAt0 are the backlog accounting used for
 	// divergence detection: every broadcast issued through broadcast()
 	// versus deliveries observed at process 0 (always alive in steady
@@ -450,6 +468,24 @@ func withoutPID(members []proto.PID, p proto.PID) []proto.PID {
 		}
 	}
 	return out
+}
+
+// setupLoad installs the replication's Poisson workload — one source per
+// live sender, exactly as workload.Spread always did — and the Loads
+// installer that Config.Load (and, through it, every load event) acts on.
+// Scenarios call it from Setup; fire receives each arriving broadcast's
+// sender. With a nil Config.Load the installer schedules nothing and the
+// sources run at their constant spread rate, bit-identical to the
+// pre-LoadPlan behaviour.
+func (c *cluster) setupLoad(cfg Config, rep int, fire func(sender int)) {
+	rng := sim.NewRand(repSeed(cfg.Seed, rep)).Fork("load")
+	c.loads = NewSpreadLoads(c.eng, rng, cfg.Throughput, cfg.N, liveSenders(cfg), fire)
+	c.loads.OnEvent = func(ev LoadEvent) {
+		if c.onLoadEvent != nil {
+			c.onLoadEvent(ev)
+		}
+	}
+	c.loads.Install(cfg.Load)
 }
 
 // liveSenders returns the processes that generate load: everyone not

@@ -67,6 +67,15 @@ type PlanObserver interface {
 	ObservePlan(at sim.Time, ev PlanEvent)
 }
 
+// LoadObserver is implemented by observers that also want the load
+// plan's events at the instants they apply. Only plan (and interactively
+// scheduled) events are observed, not their internal continuations: a
+// Burst is one event, observed when the spike starts.
+type LoadObserver interface {
+	// ObserveLoad is invoked when a load event applies.
+	ObserveLoad(at sim.Time, ev LoadEvent)
+}
+
 // ObserverFactory builds one observer instance for one replication.
 // point is the index of the replication's config within the executed
 // batch — a Sweep's canonical point order, a SteadyAll/TransientAll slice

@@ -229,11 +229,17 @@ type Sweep struct {
 	// the same partition-and-heal timeline under both algorithms at
 	// several throughputs.
 	Plans []*FaultPlan
+	// Loads sweeps the load plan: each entry is one Config.Load — a full
+	// workload-shaping timeline (rate changes, bursts, mutes, pauses), or
+	// nil for the constant-rate point. Crossed with Plans, one grid
+	// expresses "the same burst under the same partition for both
+	// algorithms at every throughput" — scenarios as data.
+	Loads []*LoadPlan
 }
 
 // Points expands the grid in canonical order: Algorithm outermost, then
 // N, then Throughput, then QoS, then Lambda, then CrashSet, then
-// Detector, then Plan innermost.
+// Detector, then Plan, then Load innermost.
 func (s Sweep) Points() []Config {
 	algs := s.Algorithms
 	if len(algs) == 0 {
@@ -267,7 +273,11 @@ func (s Sweep) Points() []Config {
 	if len(plans) == 0 {
 		plans = []*FaultPlan{s.Base.Plan}
 	}
-	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets)*len(plans))
+	loads := s.Loads
+	if len(loads) == 0 {
+		loads = []*LoadPlan{s.Base.Load}
+	}
+	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets)*len(plans)*len(loads))
 	for _, a := range algs {
 		for _, n := range ns {
 			for _, t := range thrs {
@@ -276,10 +286,13 @@ func (s Sweep) Points() []Config {
 						for _, cr := range crashes {
 							for _, det := range dets {
 								for _, plan := range plans {
-									cfg := s.Base
-									cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
-									cfg.Lambda, cfg.Crashed, cfg.Detector, cfg.Plan = l, cr, det, plan
-									out = append(out, cfg)
+									for _, load := range loads {
+										cfg := s.Base
+										cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
+										cfg.Lambda, cfg.Crashed, cfg.Detector, cfg.Plan = l, cr, det, plan
+										cfg.Load = load
+										out = append(out, cfg)
+									}
 								}
 							}
 						}

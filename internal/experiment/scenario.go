@@ -7,7 +7,6 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Delivery is one A-delivery observed by a scenario during a replication.
@@ -89,6 +88,7 @@ func runReplication(cfg Config, point, rep int, s Scenario) RepStats {
 	var bcastObservers []BroadcastObserver
 	var netObservers []NetObserver
 	var planObservers []PlanObserver
+	var loadObservers []LoadObserver
 	for _, factory := range cfg.Observers {
 		o := factory(point, rep, cfg)
 		if o == nil {
@@ -103,6 +103,9 @@ func runReplication(cfg Config, point, rep int, s Scenario) RepStats {
 		}
 		if po, ok := o.(PlanObserver); ok {
 			planObservers = append(planObservers, po)
+		}
+		if lo, ok := o.(LoadObserver); ok {
+			loadObservers = append(loadObservers, lo)
 		}
 	}
 
@@ -133,6 +136,14 @@ func runReplication(cfg Config, point, rep int, s Scenario) RepStats {
 			at := c.eng.Now()
 			for _, o := range planObservers {
 				o.ObservePlan(at, ev)
+			}
+		}
+	}
+	if len(loadObservers) > 0 {
+		c.onLoadEvent = func(ev LoadEvent) {
+			at := c.eng.Now()
+			for _, o := range loadObservers {
+				o.ObserveLoad(at, ev)
 			}
 		}
 	}
@@ -227,17 +238,16 @@ func (s *steadyScenario) Phases() phases {
 }
 
 func (s *steadyScenario) Setup(c *cluster) {
-	workload.Spread(c.eng, sim.NewRand(repSeed(s.cfg.Seed, s.rep)).Fork("load"),
-		s.cfg.Throughput, s.cfg.N, liveSenders(s.cfg), func(sender int) {
-			id := c.broadcast(sender, nil)
-			if id.Seq == 0 {
-				return // crashed sender (plan-driven): no load generated
-			}
-			now := c.eng.Now()
-			if now >= s.start && now < s.end {
-				s.sent[id] = now
-			}
-		})
+	c.setupLoad(s.cfg, s.rep, func(sender int) {
+		id := c.broadcast(sender, nil)
+		if id.Seq == 0 {
+			return // crashed sender (plan-driven): no load generated
+		}
+		now := c.eng.Now()
+		if now >= s.start && now < s.end {
+			s.sent[id] = now
+		}
+	})
 }
 
 func (s *steadyScenario) ObserveDelivery(d Delivery) {
@@ -297,10 +307,9 @@ func (t *transientScenario) Phases() phases {
 }
 
 func (t *transientScenario) Setup(c *cluster) {
-	workload.Spread(c.eng, sim.NewRand(repSeed(t.cfg.Seed, t.rep)).Fork("load"),
-		t.cfg.Throughput, t.cfg.N, liveSenders(t.cfg.Config), func(sender int) {
-			c.broadcast(sender, nil)
-		})
+	c.setupLoad(t.cfg.Config, t.rep, func(sender int) {
+		c.broadcast(sender, nil)
+	})
 	// The scripted crash is a plan event fired through the shared fault
 	// machinery, in the same instant and before the probe broadcast.
 	c.eng.Schedule(t.crashAt, func() {

@@ -41,6 +41,7 @@ import (
 //	B <sender> <origin> <seq> <at>     A-broadcast
 //	N <stage> <from> <to> <at> <name>  network lifecycle point
 //	F <at> <event>                     fault-plan event applied
+//	L <at> <event>                     load-plan event applied
 //	D <process> <origin> <seq> <at>    A-delivery
 //	T <dropped>                        N records dropped to the buffer bound
 //	E <fnv1a digest of the D records>  end of replication
@@ -207,6 +208,10 @@ func (r *traceRep) ObservePlan(at sim.Time, ev PlanEvent) {
 	fmt.Fprintf(&r.buf, "F %d %s\n", int64(at), ev)
 }
 
+func (r *traceRep) ObserveLoad(at sim.Time, ev LoadEvent) {
+	fmt.Fprintf(&r.buf, "L %d %s\n", int64(at), ev)
+}
+
 // digest folds the replication's delivery records into FNV-1a.
 func (r *traceRep) digest() uint64 {
 	h := fnv.New64a()
@@ -241,6 +246,8 @@ type traceHeader struct {
 	// Plan is the configuration's fault plan, flattened one event per
 	// entry, so planned replications replay from the header alone.
 	Plan []planEventJSON `json:"plan,omitempty"`
+	// Load is the configuration's load plan, flattened the same way.
+	Load []loadEventJSON `json:"load,omitempty"`
 }
 
 // planEventJSON is the flat, kind-tagged image of one PlanEvent.
@@ -343,6 +350,76 @@ func planFromJSON(events []planEventJSON) (*FaultPlan, error) {
 	return plan, nil
 }
 
+// loadEventJSON is the flat, kind-tagged image of one LoadEvent.
+// AllSenders marshals as its literal value, -1.
+type loadEventJSON struct {
+	Kind   string  `json:"kind"`
+	At     int64   `json:"at,omitempty"`
+	Sender int     `json:"sender,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	For    int64   `json:"for,omitempty"`
+}
+
+// loadToJSON flattens a load plan for the trace header. A nil plan yields
+// nil.
+func loadToJSON(plan *LoadPlan) []loadEventJSON {
+	if plan == nil {
+		return nil
+	}
+	out := make([]loadEventJSON, 0, len(plan.Events))
+	for _, ev := range plan.Events {
+		var j loadEventJSON
+		switch e := ev.(type) {
+		case RateChange:
+			j = loadEventJSON{Kind: "rate", At: int64(e.At), Sender: int(e.Sender), Rate: e.Rate}
+		case Burst:
+			j = loadEventJSON{Kind: "burst", At: int64(e.At), Sender: int(e.Sender), Factor: e.Factor, For: int64(e.For)}
+		case Mute:
+			j = loadEventJSON{Kind: "mute", At: int64(e.At), Sender: int(e.Sender)}
+		case Unmute:
+			j = loadEventJSON{Kind: "unmute", At: int64(e.At), Sender: int(e.Sender)}
+		case Pause:
+			j = loadEventJSON{Kind: "pause", At: int64(e.At)}
+		case Resume:
+			j = loadEventJSON{Kind: "resume", At: int64(e.At)}
+		default:
+			panic(fmt.Sprintf("experiment: unknown load event type %T", ev))
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// loadFromJSON rebuilds a load plan from its header image. Unknown kinds
+// are an error: replaying a trace from a newer writer must fail loudly,
+// not silently skip load shaping.
+func loadFromJSON(events []loadEventJSON) (*LoadPlan, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	plan := &LoadPlan{Events: make([]LoadEvent, 0, len(events))}
+	for _, j := range events {
+		switch j.Kind {
+		case "rate":
+			plan.Events = append(plan.Events, RateChange{At: time.Duration(j.At), Sender: proto.PID(j.Sender), Rate: j.Rate})
+		case "burst":
+			plan.Events = append(plan.Events, Burst{At: time.Duration(j.At), Sender: proto.PID(j.Sender), Factor: j.Factor, For: time.Duration(j.For)})
+		case "mute":
+			plan.Events = append(plan.Events, Mute{At: time.Duration(j.At), Sender: proto.PID(j.Sender)})
+		case "unmute":
+			plan.Events = append(plan.Events, Unmute{At: time.Duration(j.At), Sender: proto.PID(j.Sender)})
+		case "pause":
+			plan.Events = append(plan.Events, Pause{At: time.Duration(j.At)})
+		case "resume":
+			plan.Events = append(plan.Events, Resume{At: time.Duration(j.At)})
+		default:
+			return nil, fmt.Errorf("experiment: trace header has unknown load event kind %q", j.Kind)
+		}
+	}
+	return plan, nil
+}
+
 // headerFromConfig captures cfg (already defaulted by the runner) for
 // the trace: kind "steady", or kind "transient" with the crash/sender
 // pair when the runner marked the config as a transient replication.
@@ -380,6 +457,7 @@ func headerFromConfig(cfg Config, point, rep int) traceHeader {
 		}
 	}
 	h.Plan = planToJSON(cfg.Plan)
+	h.Load = loadToJSON(cfg.Load)
 	if ti := cfg.transient; ti != nil {
 		h.Kind = "transient"
 		h.Crash = int(ti.crash)
@@ -419,6 +497,11 @@ func configFromHeader(h traceHeader) (Config, error) {
 		return cfg, err
 	}
 	cfg.Plan = plan
+	load, err := loadFromJSON(h.Load)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Load = load
 	return cfg, nil
 }
 

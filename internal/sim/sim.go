@@ -56,12 +56,17 @@ func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
 
 // Millis converts a floating-point number of milliseconds to a
 // time.Duration. It is a convenience for experiment configuration, where
-// the paper quotes every parameter in milliseconds.
+// the paper quotes every parameter in milliseconds. Values beyond the
+// representable range — +Inf included — saturate to the maximum
+// duration (~292 virtual years) instead of overflowing to a negative
+// duration, so a pathologically slow event source degrades to "never
+// fires within any run" rather than a scheduling panic.
 func Millis(ms float64) time.Duration {
-	if math.IsInf(ms, 1) {
+	ns := ms * float64(time.Millisecond)
+	if ns >= math.MaxInt64 {
 		return time.Duration(math.MaxInt64)
 	}
-	return time.Duration(ms * float64(time.Millisecond))
+	return time.Duration(ns)
 }
 
 // MsgHandler receives closure-free scheduled records. The meaning of op,

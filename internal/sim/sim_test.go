@@ -482,3 +482,19 @@ func TestExpDistributionShape(t *testing.T) {
 		t.Fatalf("P(X>mean) = %v, want ~%v", frac, math.Exp(-1))
 	}
 }
+
+// TestMillisSaturates: millisecond values beyond the representable
+// duration range — +Inf included — clamp to the maximum duration
+// instead of overflowing to a negative one (which Schedule would then
+// panic on as scheduling in the past).
+func TestMillisSaturates(t *testing.T) {
+	max := time.Duration(math.MaxInt64)
+	for _, ms := range []float64{math.Inf(1), 1e300, 2e16} {
+		if got := Millis(ms); got != max {
+			t.Fatalf("Millis(%g) = %d, want saturation to %d", ms, got, max)
+		}
+	}
+	if got := Millis(5); got != 5*time.Millisecond {
+		t.Fatalf("Millis(5) = %v", got)
+	}
+}

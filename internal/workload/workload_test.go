@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -102,6 +103,140 @@ func TestSpreadWithCrashedSendersKeepsPerProcessRate(t *testing.T) {
 	if math.Abs(float64(total)-want)/want > 0.07 {
 		t.Fatalf("total = %d, want ~%v", total, want)
 	}
+}
+
+// TestSetRateSameRateIsNoOp: pushing the current rate must not consume
+// randomness or perturb timing — the event stream matches a run that
+// never called SetRate, bit for bit.
+func TestSetRateSameRateIsNoOp(t *testing.T) {
+	run := func(poke bool) []sim.Time {
+		eng := sim.New()
+		var times []sim.Time
+		p := NewPoisson(eng, sim.NewRand(7), 200, func() { times = append(times, eng.Now()) })
+		if poke {
+			for i := 1; i <= 40; i++ {
+				eng.Schedule(sim.Time(0).Add(time.Duration(i)*137*time.Millisecond), func() { p.SetRate(200) })
+			}
+		}
+		eng.RunUntil(sim.Time(0).Add(10 * time.Second))
+		return times
+	}
+	plain, poked := run(false), run(true)
+	if len(plain) != len(poked) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(poked))
+	}
+	for i := range plain {
+		if plain[i] != poked[i] {
+			t.Fatalf("event %d: %v vs %v", i, plain[i], poked[i])
+		}
+	}
+}
+
+// TestSetRateMidGapRescalesRemainder: halving the rate mid-gap must
+// exactly double the remaining wait, with no fresh randomness.
+func TestSetRateMidGapRescalesRemainder(t *testing.T) {
+	eng := sim.New()
+	var fired []sim.Time
+	p := NewPoisson(eng, sim.NewRand(11), 10, func() { fired = append(fired, eng.Now()) })
+	full := p.next.When() // the first gap, at rate 10/s
+	// Change the rate a quarter of the way into the gap: the remaining
+	// three quarters should stretch 2x at half the rate.
+	quarter := sim.Time(0).Add(full.Duration() / 4)
+	eng.Schedule(quarter, func() { p.SetRate(5) })
+	eng.RunUntil(sim.Time(0).Add(time.Hour))
+	if len(fired) == 0 {
+		t.Fatal("source never fired")
+	}
+	want := quarter.Add(2 * full.Sub(quarter)).Duration().Seconds()
+	got := fired[0].Duration().Seconds()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("first event at %.9fs, want %.9fs (rescaled remainder)", got, want)
+	}
+}
+
+// TestSetRateZeroThenResume: SetRate(0) freezes the gap in flight;
+// resuming fires exactly the frozen remainder (rescaled) later, and the
+// long-run rate afterwards is the resumed one.
+func TestSetRateZeroThenResume(t *testing.T) {
+	eng := sim.New()
+	count := 0
+	var first sim.Time
+	p := NewPoisson(eng, sim.NewRand(13), 100, func() {
+		if count == 0 {
+			first = eng.Now()
+		}
+		count++
+	})
+	full := p.next.When()
+	pauseAt := sim.Time(0).Add(full.Duration() / 2)
+	resumeAt := sim.Time(0).Add(3 * time.Second)
+	eng.Schedule(pauseAt, func() { p.SetRate(0) })
+	eng.RunUntil(sim.Time(0).Add(2 * time.Second))
+	if count != 0 {
+		t.Fatalf("silenced source fired %d times", count)
+	}
+	if p.Rate() != 0 {
+		t.Fatalf("Rate() = %v while silenced, want 0", p.Rate())
+	}
+	eng.Schedule(resumeAt, func() { p.SetRate(100) })
+	horizon := 100 * time.Second
+	eng.RunUntil(resumeAt.Add(horizon))
+	// First firing: the remaining half gap, resumed at the same rate.
+	want := resumeAt.Add(full.Duration() - pauseAt.Duration()).Duration().Seconds()
+	if got := first.Duration().Seconds(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("first post-resume event at %.9fs, want %.9fs", got, want)
+	}
+	// Long-run rate is back to 100/s.
+	wantN := 100 * horizon.Seconds()
+	if math.Abs(float64(count)-wantN)/wantN > 0.05 {
+		t.Fatalf("post-resume events = %d, want ~%v", count, wantN)
+	}
+}
+
+// TestSetRateStartsSilentSource: a source built with rate 0 draws nothing
+// until SetRate starts it.
+func TestSetRateStartsSilentSource(t *testing.T) {
+	eng := sim.New()
+	count := 0
+	p := NewPoisson(eng, sim.NewRand(17), 0, func() { count++ })
+	eng.RunUntil(sim.Time(0).Add(time.Second))
+	eng.Schedule(eng.Now(), func() { p.SetRate(1000) })
+	horizon := 10 * time.Second
+	eng.RunUntil(sim.Time(0).Add(time.Second).Add(horizon))
+	want := 1000 * horizon.Seconds()
+	if math.Abs(float64(count)-want)/want > 0.05 {
+		t.Fatalf("events = %d, want ~%v", count, want)
+	}
+}
+
+// TestStopReleasesEventRecord is the Poisson.Stop hygiene fix: the
+// cancelled event record must be droppable, not pinned by p.next for the
+// source's whole remaining lifetime.
+func TestStopReleasesEventRecord(t *testing.T) {
+	eng := sim.New()
+	p := NewPoisson(eng, sim.NewRand(19), 1, func() {})
+	collected := make(chan struct{})
+	runtime.SetFinalizer(p.next, func(*sim.Event) { close(collected) })
+	p.Stop()
+	if p.next != nil {
+		t.Fatal("Stop left p.next referencing the cancelled event")
+	}
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			i = 50
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	select {
+	case <-collected:
+	default:
+		t.Fatal("cancelled event record was never garbage-collected after Stop")
+	}
+	// Keep the source itself reachable until here: the point is that the
+	// event dies while the Poisson lives.
+	runtime.KeepAlive(p)
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {

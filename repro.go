@@ -259,6 +259,58 @@ type PreCrash = experiment.PreCrash
 // events at the instants they apply.
 type PlanObserver = experiment.PlanObserver
 
+// LoadPlan is a deterministic, virtual-time-ordered timeline of typed
+// workload-shaping events — FaultPlan's load-side sibling: rate changes
+// (global or per-sender), bursts, per-sender mutes, whole-workload
+// pauses. One plan drives every surface — Config.Load for experiments,
+// Sweep.Loads to cross shaping schedules with every other axis (Plans
+// included, so "overload while partitioned" is one grid point), and
+// ClusterConfig.Load (or the Cluster's SetRateAt/BurstAt/MuteAt/...)
+// interactively — and shaped runs stay deterministic, sweepable and
+// trace-replayable. Rate changes consume no randomness: the gap in
+// flight rescales (the exponential is memoryless), so a plan that leaves
+// every rate unchanged is bit-identical to no plan at all.
+type LoadPlan = experiment.LoadPlan
+
+// NewLoadPlan creates a plan from the given events; the plan's chainable
+// helpers (Rate, Burst, Mute, Unmute, Pause, Resume) append further ones.
+func NewLoadPlan(events ...LoadEvent) *LoadPlan {
+	return experiment.NewLoadPlan(events...)
+}
+
+// LoadEvent is one typed event on a LoadPlan's timeline: one of
+// RateChange, Burst, Mute, Unmute, Pause or Resume.
+type LoadEvent = experiment.LoadEvent
+
+// RateChange sets the A-broadcast rate: sender AllSenders re-spreads the
+// rate as a new total throughput, a concrete sender gets it absolutely.
+type RateChange = experiment.RateChange
+
+// Burst multiplies a sender's (or everyone's) rate by a factor for a
+// duration — the spike of the overload figures.
+type Burst = experiment.Burst
+
+// Mute silences one sender (or everyone), freezing its gap and keeping
+// its logical rate for Unmute.
+type Mute = experiment.Mute
+
+// Unmute lifts a Mute.
+type Unmute = experiment.Unmute
+
+// Pause silences the whole workload; Resume lifts it (individually muted
+// senders stay muted).
+type Pause = experiment.Pause
+
+// Resume lifts a Pause.
+type Resume = experiment.Resume
+
+// AllSenders addresses every sender at once in a load event.
+const AllSenders = experiment.AllSenders
+
+// LoadObserver is the optional observer interface receiving load-plan
+// events at the instants they apply.
+type LoadObserver = experiment.LoadObserver
+
 // HeartbeatDetector returns a heartbeat failure-detector tuning (in
 // milliseconds, the paper's unit) for Config.Detector, Sweep.Detectors
 // or ClusterConfig.Heartbeat. Zero values select the defaults (10 ms

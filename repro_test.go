@@ -188,3 +188,93 @@ func TestClusterHeartbeatWithGM(t *testing.T) {
 		t.Fatalf("view notifications = %d, want >= 5", views)
 	}
 }
+
+func TestClusterWorkloadAndLoadMethods(t *testing.T) {
+	// A cluster with the built-in Poisson workload, shaped interactively:
+	// mute sender 2 for a window, pause everyone for another, and watch
+	// the load events apply in order.
+	var events []string
+	var eventTimes []time.Duration
+	perSender := make(map[int]int)
+	c := NewCluster(ClusterConfig{
+		Algorithm:  FD,
+		N:          3,
+		Throughput: 300,
+		OnDeliver: func(d Delivery) {
+			if d.Process == 0 {
+				perSender[int(d.ID.Origin)]++
+			}
+		},
+		OnLoad: func(at time.Duration, ev LoadEvent) {
+			events = append(events, ev.String())
+			eventTimes = append(eventTimes, at)
+		},
+	})
+	c.MuteAt(100*time.Millisecond, 2)
+	c.UnmuteAt(400*time.Millisecond, 2)
+	c.PauseAt(600 * time.Millisecond)
+	c.ResumeAt(700 * time.Millisecond)
+	c.SetRateAt(800*time.Millisecond, int(AllSenders), 600)
+	// Silence the workload before draining: RunUntilIdle never returns
+	// while a Poisson source keeps scheduling.
+	c.PauseAt(1200 * time.Millisecond)
+	c.Run(1200 * time.Millisecond)
+	c.RunUntilIdle()
+
+	want := []string{"mute p2", "unmute p2", "pause", "resume", "rate all=600/s", "pause"}
+	if len(events) != len(want) {
+		t.Fatalf("observed load events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, events[i], want[i])
+		}
+	}
+	for i, at := range eventTimes {
+		if at != []time.Duration{100, 400, 600, 700, 800, 1200}[i]*time.Millisecond {
+			t.Fatalf("event %d applied at %v", i, at)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if perSender[s] == 0 {
+			t.Fatalf("sender %d delivered nothing; workload not running: %v", s, perSender)
+		}
+	}
+}
+
+func TestClusterLoadPlanAtConstruction(t *testing.T) {
+	// The same shaping as a ClusterConfig.Load timeline, with a silent
+	// (zero-throughput) workload raised mid-run by a plan event.
+	delivered := 0
+	c := NewCluster(ClusterConfig{
+		Algorithm: GM,
+		N:         3,
+		Load: NewLoadPlan().
+			Rate(200*time.Millisecond, AllSenders, 900).
+			Pause(1100 * time.Millisecond), // silence before the idle drain
+		OnDeliver: func(d Delivery) {
+			if d.Process == 0 {
+				delivered++
+			}
+		},
+	})
+	c.Run(150 * time.Millisecond)
+	if delivered != 0 {
+		t.Fatalf("%d deliveries before the rate change raised a silent workload", delivered)
+	}
+	c.Run(time.Second)
+	c.RunUntilIdle()
+	if delivered == 0 {
+		t.Fatal("no deliveries after the plan raised the rate")
+	}
+}
+
+func TestClusterLoadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range load event accepted")
+		}
+	}()
+	c := NewCluster(ClusterConfig{Algorithm: FD, N: 3})
+	c.MuteAt(time.Millisecond, 7)
+}
