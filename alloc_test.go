@@ -1,0 +1,77 @@
+//go:build !race
+
+// Allocation-budget regression guards for the pooled hot paths. The
+// budgets pin the memory-diet pass (BENCH_kernel.json records the
+// measured values) so a refactor can't silently reintroduce per-message
+// or per-instance allocation. The race detector instruments allocation
+// itself, so the file is excluded under -race and CI runs it in a
+// separate uninstrumented step.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// TestClusterBroadcastAllocBudget bounds the full-stack hot path of
+// BenchmarkClusterBroadcast: one atomic broadcast ordered and delivered
+// on a 3-process FD cluster. The pooling pass took it from 42 to a
+// measured 11 allocs/op; the budget leaves slack for toolchain noise
+// while staying far below the old cost.
+func TestClusterBroadcastAllocBudget(t *testing.T) {
+	const budget = 16.0
+	delivered := 0
+	c := NewCluster(ClusterConfig{
+		Algorithm: FD,
+		N:         3,
+		OnDeliver: func(Delivery) { delivered++ },
+	})
+	iter := 0
+	step := func() {
+		c.Broadcast(iter%3, iter)
+		c.Run(20 * time.Millisecond)
+		iter++
+	}
+	// Warm the free lists: instance slots, message boxes, event records
+	// and map/slice capacity all settle within the first few broadcasts.
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(256, step)
+	if delivered == 0 {
+		t.Fatal("no deliveries")
+	}
+	if allocs > budget {
+		t.Fatalf("cluster broadcast hot path: %.1f allocs/op, budget %.0f", allocs, budget)
+	}
+}
+
+// TestNetModelMulticastAllocBudget bounds the contention model's
+// message pipeline of BenchmarkNetModelMulticast: one multicast fan-out
+// to 7 processes. With a pre-boxed payload the model itself allocates
+// nothing once warm; the budget of 1 tolerates a stray amortised
+// engine-queue growth.
+func TestNetModelMulticastAllocBudget(t *testing.T) {
+	const budget = 1.0
+	eng := sim.New()
+	nw := netmodel.New(eng, netmodel.DefaultConfig(8), func(int, int, any) {})
+	iter := 0
+	step := func() {
+		nw.Multicast(iter%8, nil)
+		iter++
+		if iter%256 == 0 {
+			eng.Run()
+		}
+	}
+	for i := 0; i < 1024; i++ {
+		step()
+	}
+	eng.Run()
+	allocs := testing.AllocsPerRun(1024, step)
+	if allocs > budget {
+		t.Fatalf("netmodel multicast hot path: %.2f allocs/op, budget %.0f", allocs, budget)
+	}
+}

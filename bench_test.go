@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"testing"
 	"time"
@@ -215,6 +216,36 @@ func BenchmarkSweepParallel(b *testing.B) {
 			b.ReportMetric(float64(msgs), "msgs")
 		})
 	}
+}
+
+// BenchmarkCollectorModes measures the distribution carrier the
+// experiments aggregate into: exact mode retains every observation,
+// sketch mode (Config.DistSketch) folds them into bounded log buckets.
+// One op adds 1000 heavy-tailed observations to a fresh collector and
+// reads its quantiles; bytes/op is the number that motivates sketch
+// mode for multi-million-message points.
+func BenchmarkCollectorModes(b *testing.B) {
+	obs := make([]float64, 1000)
+	x := uint64(99)
+	for i := range obs {
+		x = x*6364136223846793005 + 1442695040888963407
+		obs[i] = 0.1 * math.Pow(10, 4*float64(x>>11)/float64(1<<53))
+	}
+	run := func(b *testing.B, mk func() Collector) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := mk()
+			for _, v := range obs {
+				c.Add(v)
+			}
+			if q := c.Quantiles(); q.N != len(obs) {
+				b.Fatalf("collected %d observations, want %d", q.N, len(obs))
+			}
+		}
+	}
+	b.Run("exact", func(b *testing.B) { run(b, func() Collector { return Collector{} }) })
+	b.Run("sketch/alpha=0.01", func(b *testing.B) { run(b, func() Collector { return NewSketchCollector(0.01) }) })
 }
 
 // BenchmarkSimEngine measures the discrete-event kernel's closure form

@@ -4,14 +4,11 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/ctabcast"
 	"repro/internal/experiment"
 	"repro/internal/fd"
 	"repro/internal/gm"
-	"repro/internal/hbfd"
 	"repro/internal/netmodel"
 	"repro/internal/proto"
-	"repro/internal/seqabcast"
 	"repro/internal/sim"
 )
 
@@ -122,18 +119,17 @@ type HeartbeatConfig = experiment.Heartbeat
 // at construction, SetRateAt/BurstAt/MuteAt/UnmuteAt/PauseAt/ResumeAt
 // and ApplyLoad interactively.
 type Cluster struct {
-	cfg      ClusterConfig
-	eng      *sim.Engine
-	sys      *proto.System
-	bcast    []func(body any) MessageID
-	wrappers []*hbfd.Wrapper // non-nil entries when Heartbeat is enabled
-	faults   *experiment.Faults
-	loads    *experiment.Loads
-	// endpoint[p] constructs one protocol-stack incarnation of process p;
-	// RecoverAt uses it to rebuild after a GM crash-recovery.
-	endpoint []func(rt proto.Runtime, rejoin bool) proto.Handler
+	cfg   ClusterConfig
+	eng   *sim.Engine
+	sys   *proto.System
+	bcast []func(body any) MessageID
+	// core is the shared builder's assembled system; recovery (hbfd
+	// restarts, GM rejoin incarnations) delegates to it.
+	core   *experiment.Core
+	faults *experiment.Faults
+	loads  *experiment.Loads
 	// sentBy counts A-broadcast calls per process: the ID-sequence base a
-	// recovered GM incarnation continues from.
+	// recovered GM incarnation continues from (Core.SentBy).
 	sentBy []uint64
 }
 
@@ -160,19 +156,6 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Throughput < 0 {
 		panic("repro: negative throughput")
 	}
-	eng := sim.New()
-	netCfg := netmodel.Config{N: cfg.N, Lambda: Milliseconds(cfg.Lambda), Slot: time.Millisecond}
-	sys := proto.NewSystem(eng, netCfg, cfg.QoS, sim.NewRand(cfg.Seed))
-	c := &Cluster{
-		cfg:      cfg,
-		eng:      eng,
-		sys:      sys,
-		bcast:    make([]func(any) MessageID, cfg.N),
-		wrappers: make([]*hbfd.Wrapper, cfg.N),
-		endpoint: make([]func(proto.Runtime, bool) proto.Handler, cfg.N),
-		sentBy:   make([]uint64, cfg.N),
-	}
-
 	// Pre-crashes: the PreCrashed list first, then the plan's PreCrash
 	// events, duplicates dropped.
 	var preOrder []proto.PID
@@ -196,89 +179,52 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			}
 		}
 	}
-	var members []proto.PID
-	for p := 0; p < cfg.N; p++ {
-		if !preCrashed[proto.PID(p)] {
-			members = append(members, proto.PID(p))
+
+	c := &Cluster{cfg: cfg}
+	var onView func(p proto.PID, v gm.View, at sim.Time)
+	if cfg.OnView != nil {
+		onView = func(pid proto.PID, v gm.View, at sim.Time) {
+			ms := make([]int, len(v.Members))
+			for i, m := range v.Members {
+				ms[i] = int(m)
+			}
+			cfg.OnView(ViewInfo{
+				Process: int(pid),
+				ViewID:  v.ID,
+				Members: ms,
+				At:      at.Duration(),
+			})
 		}
 	}
-
-	for p := 0; p < cfg.N; p++ {
-		pid := proto.PID(p)
-		procIdx := p
-		deliver := func(id proto.MsgID, body any) {
+	c.core = experiment.NewCore(experiment.CoreConfig{
+		Algorithm:  cfg.Algorithm,
+		N:          cfg.N,
+		Lambda:     cfg.Lambda,
+		QoS:        cfg.QoS,
+		Detector:   cfg.Heartbeat,
+		Renumber:   true,
+		Seed:       cfg.Seed,
+		PreCrashed: preOrder,
+		Deliver: func(pid proto.PID, id proto.MsgID, body any, at sim.Time) {
 			if cfg.OnDeliver != nil {
 				cfg.OnDeliver(Delivery{
-					Process: procIdx,
+					Process: int(pid),
 					ID:      id,
 					Body:    body,
-					At:      eng.Now().Duration(),
+					At:      at.Duration(),
 				})
 			}
-		}
-		// build constructs the algorithm endpoint against rt and returns
-		// the handler plus the broadcast entry point. rejoin marks a
-		// recovered GM incarnation: its initial view omits itself and its
-		// message IDs continue where the previous incarnation stopped.
-		build := func(rt proto.Runtime, rejoin bool) (proto.Handler, func(any) MessageID) {
-			switch cfg.Algorithm {
-			case FD:
-				proc := ctabcast.New(rt, ctabcast.Config{Deliver: deliver, Renumber: true})
-				return proc, proc.ABroadcast
-			case GM, GMNonUniform:
-				scfg := seqabcast.Config{
-					Deliver:        deliver,
-					Uniform:        cfg.Algorithm == GM,
-					InitialMembers: members,
-				}
-				if rejoin {
-					scfg.InitialMembers = membersWithout(members, pid)
-					scfg.SeqBase = c.sentBy[procIdx]
-				}
-				if cfg.OnView != nil {
-					scfg.OnView = func(v gm.View) {
-						ms := make([]int, len(v.Members))
-						for i, m := range v.Members {
-							ms[i] = int(m)
-						}
-						cfg.OnView(ViewInfo{
-							Process: procIdx,
-							ViewID:  v.ID,
-							Members: ms,
-							At:      eng.Now().Duration(),
-						})
-					}
-				}
-				proc := seqabcast.New(rt, scfg)
-				return proc, proc.ABroadcast
-			default:
-				panic(fmt.Sprintf("repro: unknown algorithm %v", cfg.Algorithm))
-			}
-		}
-		c.endpoint[p] = func(rt proto.Runtime, rejoin bool) proto.Handler {
-			if hb := cfg.Heartbeat; hb != nil {
-				w := hbfd.Wrap(rt, hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
-					func(inner proto.Runtime) proto.Handler {
-						h, bc := build(inner, rejoin)
-						c.bcast[procIdx] = bc
-						return h
-					})
-				c.wrappers[procIdx] = w
-				return w
-			}
-			h, bc := build(rt, rejoin)
-			c.bcast[procIdx] = bc
-			return h
-		}
-		sys.SetHandler(pid, c.endpoint[p](sys.Proc(pid), false))
-	}
-	for _, p := range preOrder {
-		sys.PreCrash(p)
-	}
-	sys.Start()
+		},
+		OnView: onView,
+	})
+	eng := c.core.Eng
+	c.eng = eng
+	c.sys = c.core.Sys
+	c.bcast = c.core.Bcast
+	c.sentBy = c.core.SentBy
 	c.faults = &experiment.Faults{
-		Sys:     sys,
-		Recover: c.recover,
+		Sys:     c.sys,
+		Recover: c.core.Recover,
 		OnEvent: func(ev PlanEvent) {
 			if cfg.OnFault != nil {
 				cfg.OnFault(eng.Now().Duration(), ev)
@@ -293,11 +239,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	// rate Throughput/N (possibly zero, i.e. silent until a load event
 	// raises it), on an independent random stream — mirroring the
 	// experiment scenarios' Setup.
-	var senders []int
-	for p := 0; p < cfg.N; p++ {
-		if !preCrashed[proto.PID(p)] {
-			senders = append(senders, p)
-		}
+	senders := make([]int, 0, len(c.core.Members))
+	for _, p := range c.core.Members {
+		senders = append(senders, int(p))
 	}
 	c.loads = experiment.NewSpreadLoads(eng, sim.NewRand(cfg.Seed).Fork("load"),
 		cfg.Throughput, cfg.N, senders, func(s int) {
@@ -316,38 +260,6 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		c.loads.Install(cfg.Load)
 	}
 	return c
-}
-
-// membersWithout returns members minus p, freshly allocated.
-func membersWithout(members []proto.PID, p proto.PID) []proto.PID {
-	out := make([]proto.PID, 0, len(members))
-	for _, m := range members {
-		if m != p {
-			out = append(out, m)
-		}
-	}
-	return out
-}
-
-// recover revives a crashed process, algorithm-aware: GM algorithms get
-// a fresh incarnation that rejoins through the membership service with
-// state transfer; the crash-stop FD algorithm resumes with its state
-// intact (a long outage). The heartbeat detector, when configured,
-// starts beating again either way.
-func (c *Cluster) recover(p proto.PID) {
-	if !c.sys.Proc(p).Crashed() {
-		return
-	}
-	if c.cfg.Algorithm == FD {
-		c.sys.Recover(p, nil)
-		if w := c.wrappers[p]; w != nil {
-			w.Restart()
-		}
-		return
-	}
-	c.sys.Recover(p, func(rt proto.Runtime) proto.Handler {
-		return c.endpoint[p](rt, true)
-	})
 }
 
 // Now returns the current virtual time.

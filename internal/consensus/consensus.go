@@ -205,15 +205,22 @@ type Instance struct {
 	coordBase int // index of FirstCoord within Participants
 	majority  int
 
-	// Participant state.
+	// Participant state. lazy marks an instance started without a
+	// snapshotted initial value (StartLazy): it behaves exactly like a
+	// started instance whose round-1 value was never needed, and the
+	// value is materialised through RefreshEstimate if a round ≥ 2
+	// estimate ever has to be sent.
 	started  bool
+	lazy     bool
 	estimate Value
 	ts       int
 	round    int
 	phase    phase
 
-	// Coordinator state, keyed by round.
+	// Coordinator state, keyed by round. rsFree recycles roundStates
+	// across rounds and — via Reset — across instance reuses.
 	rounds map[int]*roundState
+	rsFree []*roundState
 
 	// Decision state.
 	decided   bool
@@ -228,6 +235,18 @@ type Instance struct {
 // New creates an instance. It panics on malformed configuration: instances
 // are constructed by protocol code, not from external input.
 func New(cfg Config, tr Transport) *Instance {
+	inst := &Instance{}
+	inst.Reset(cfg, tr)
+	return inst
+}
+
+// Reset re-initialises the instance in place for a new execution,
+// recycling its round bookkeeping: an embedding protocol that retires
+// instances (the FD algorithm's instance window) can pool them instead
+// of allocating one per batch. Resetting a live instance discards it;
+// callers reset only instances they have retired. The configuration
+// rules of New apply.
+func (in *Instance) Reset(cfg Config, tr Transport) {
 	if len(cfg.Participants) == 0 {
 		panic("consensus: no participants")
 	}
@@ -256,16 +275,29 @@ func New(cfg Config, tr Transport) *Instance {
 	// rounds and forwarded are created lazily: rounds only materialises at
 	// processes that actually coordinate a round, forwarded only on the
 	// post-decision catch-up path. In the failure-free fast path two of
-	// three processes never touch either.
-	inst := &Instance{
-		cfg:       cfg,
-		tr:        tr,
-		coordBase: base,
-		majority:  len(cfg.Participants)/2 + 1,
-		round:     1,
-		phase:     phaseWaitPropose,
+	// three processes never touch either. On reuse the maps are kept but
+	// emptied, their roundStates returned to the free list.
+	for r, rs := range in.rounds {
+		in.rsFree = append(in.rsFree, rs)
+		delete(in.rounds, r)
 	}
-	return inst
+	clear(in.forwarded)
+	in.cfg = cfg
+	in.tr = tr
+	in.coordBase = base
+	in.majority = len(cfg.Participants)/2 + 1
+	in.started = false
+	in.lazy = false
+	in.estimate = nil
+	in.ts = 0
+	in.round = 1
+	in.phase = phaseWaitPropose
+	in.decided = false
+	in.decision = nil
+	in.proposer = 0
+	in.decideBox = nil
+	in.relayed = false
+	in.closed = false
 }
 
 // Coordinator returns the coordinator of round r (1-based).
@@ -308,23 +340,43 @@ func (in *Instance) Start(v Value) {
 	in.Restart()
 }
 
-// HasEstimate reports whether the instance already holds a non-nil
-// initial value, in which case Start would ignore a new one.
-func (in *Instance) HasEstimate() bool { return in.estimate != nil }
+// StartLazy starts the instance without snapshotting an initial value,
+// for processes that do not coordinate round 1: their round-1 value is
+// never transmitted, and if the instance reaches a round ≥ 2 estimate
+// exchange with the timestamp still zero, the value is materialised
+// fresh through Config.RefreshEstimate at that point — exactly the
+// value an eager Start would have been replaced with. Embedding
+// protocols whose RefreshEstimate is always non-nil while the instance
+// is live (the FD algorithm's pending set) get identical behaviour to
+// Start at no snapshot cost. StartLazy after a decision, or after the
+// instance already holds a value, is a no-op.
+func (in *Instance) StartLazy() {
+	if in.decided || in.lazy || in.estimate != nil {
+		return
+	}
+	in.lazy = true
+	in.started = true
+	in.checkSuspicion()
+}
+
+// HasEstimate reports whether the instance already holds an initial
+// value (possibly a lazy one), in which case Start would ignore a new
+// one.
+func (in *Instance) HasEstimate() bool { return in.estimate != nil || in.lazy }
 
 // Restart re-runs Start's round-1 fast path and suspicion check without
 // supplying a value. For an instance whose estimate is already set this is
 // exactly Start(v) for any non-nil v — Start keeps the first value — so
 // the embedding protocol can skip snapshotting a fresh proposal on every
-// delivery. Restart on an instance with no estimate is a no-op.
+// delivery. Restart on an instance that was never started is a no-op.
 func (in *Instance) Restart() {
-	if in.decided || in.estimate == nil {
+	if in.decided || (in.estimate == nil && !in.lazy) {
 		return
 	}
 	in.started = true
 	// The initial value doubles as this process's round-1 estimate; if we
 	// coordinate round 1 we can propose it without a phase-1 exchange.
-	if in.Coordinator(1) == in.cfg.Self {
+	if in.estimate != nil && in.Coordinator(1) == in.cfg.Self {
 		rs := in.roundState(1)
 		self := &rs.parts[in.index(in.cfg.Self)]
 		if !self.hasEst || self.est == nil {
@@ -393,17 +445,41 @@ func (in *Instance) OnSuspect(p proto.PID) {
 }
 
 // roundState returns (creating if needed) the coordinator bookkeeping for
-// round r.
+// round r, drawing recycled states from the free list first.
 func (in *Instance) roundState(r int) *roundState {
 	rs, ok := in.rounds[r]
 	if !ok {
-		rs = &roundState{parts: make([]partRound, len(in.cfg.Participants))}
+		if n := len(in.rsFree); n > 0 {
+			rs = in.rsFree[n-1]
+			in.rsFree = in.rsFree[:n-1]
+			rs.reset(len(in.cfg.Participants))
+		} else {
+			rs = &roundState{parts: make([]partRound, len(in.cfg.Participants))}
+		}
 		if in.rounds == nil {
 			in.rounds = make(map[int]*roundState, 1)
 		}
 		in.rounds[r] = rs
 	}
 	return rs
+}
+
+// reset clears a recycled roundState for n participants, reusing its
+// parts slice when large enough.
+func (rs *roundState) reset(n int) {
+	if cap(rs.parts) < n {
+		rs.parts = make([]partRound, n)
+	} else {
+		rs.parts = rs.parts[:n]
+		for i := range rs.parts {
+			rs.parts[i] = partRound{}
+		}
+	}
+	rs.estCount = 0
+	rs.ackCount = 0
+	rs.proposed = false
+	rs.proposal = nil
+	rs.aborted = false
 }
 
 // enterRound moves the participant to round r and sends its estimate to

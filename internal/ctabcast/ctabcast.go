@@ -30,13 +30,34 @@ import (
 	"repro/internal/rbcast"
 )
 
-// consMsg tags a consensus message with its instance number.
+// consMsg tags a consensus message with its instance number. Wire copies
+// travel as *consMsg boxes drawn from the sending Process's free list
+// (the netmodel pooled-payload protocol): receivers copy K and M out
+// before returning, and the box is recycled when its last in-flight copy
+// is delivered or dropped.
 type consMsg struct {
 	K uint64
 	M consensus.Msg
+
+	refs int32
+	home *Process
 }
 
-// String names the wrapped message for traces: "MsgPropose[k=3]".
+// Retain implements the network's pooled-payload protocol.
+func (m *consMsg) Retain(n int) { m.refs += int32(n) }
+
+// Release drops one in-flight copy reference, returning the box to its
+// Process's free list when none remain.
+func (m *consMsg) Release() {
+	if m.refs--; m.refs == 0 && m.home != nil {
+		m.M = nil
+		m.home.msgFree = append(m.home.msgFree, m)
+	}
+}
+
+// String names the wrapped message for traces: "MsgPropose[k=3]". The
+// value receiver keeps the pooled pointer box rendering exactly like the
+// value payload it replaced.
 func (m consMsg) String() string {
 	name := fmt.Sprintf("%T", m.M)
 	if i := strings.LastIndex(name, "."); i >= 0 {
@@ -74,13 +95,34 @@ type Process struct {
 	bodies     map[proto.MsgID]any
 	adelivered *proto.IDTracker
 
-	instances   map[uint64]*consensus.Instance
+	instances   map[uint64]*instSlot
 	decisions   map[uint64][]proto.MsgID
 	proposers   map[uint64]proto.PID
 	buffered    map[uint64][]bufferedMsg // consensus msgs for instances we cannot build yet
 	nextDeliver uint64                   // lowest instance whose decision is still undelivered
 	firstCoord  proto.PID                // round-1 coordinator of instance nextDeliver
 	oldest      uint64                   // lowest retained instance
+
+	// Free lists and cached callbacks: the high-rate allocation sites of
+	// the hot path, each reused across instances and messages.
+	msgFree     []*consMsg  // recycled consMsg wire boxes
+	slotFree    []*instSlot // recycled instance slots (GC'd instances)
+	sortScratch []proto.MsgID
+	suspectsFn  func(proto.PID) bool
+	refreshFn   func() consensus.Value
+}
+
+// instSlot bundles one consensus instance with its per-instance
+// callbacks, so a garbage-collected instance can be reset and reused —
+// transport, decide closure and all — instead of reallocated. The
+// transport is addressed as &slot.tr (a pointer into the slot), which
+// boxes into the Transport interface without allocating, and the decide
+// closure reads slot.tr.k at call time, so retargeting the slot to a new
+// instance number is one field write.
+type instSlot struct {
+	inst   *consensus.Instance
+	tr     consTransport
+	decide func(v consensus.Value, proposer proto.PID)
 }
 
 type bufferedMsg struct {
@@ -104,7 +146,7 @@ func New(rt proto.Runtime, cfg Config) *Process {
 		pending:     make(map[proto.MsgID]struct{}),
 		bodies:      make(map[proto.MsgID]any),
 		adelivered:  proto.NewIDTracker(),
-		instances:   make(map[uint64]*consensus.Instance),
+		instances:   make(map[uint64]*instSlot),
 		decisions:   make(map[uint64][]proto.MsgID),
 		proposers:   make(map[uint64]proto.PID),
 		buffered:    make(map[uint64][]bufferedMsg),
@@ -115,9 +157,18 @@ func New(rt proto.Runtime, cfg Config) *Process {
 	for i := range p.all {
 		p.all[i] = proto.PID(i)
 	}
+	// Bind the per-process callbacks once: a method value or closure built
+	// inside instance() would allocate on every instance.
+	p.suspectsFn = rt.Suspects
+	p.refreshFn = func() consensus.Value {
+		if len(p.pending) == 0 {
+			return nil
+		}
+		return p.proposal()
+	}
 	p.rb = rbcast.New(rbcast.Config{
 		Self:      rt.ID(),
-		Multicast: func(m rbcast.Msg) { rt.Multicast(m) },
+		Multicast: func(m *rbcast.Msg) { rt.Multicast(m) },
 		Deliver:   p.onRBDeliver,
 	})
 	return p
@@ -134,10 +185,11 @@ func (p *Process) ABroadcast(body any) proto.MsgID {
 // OnMessage implements proto.Handler.
 func (p *Process) OnMessage(from proto.PID, payload any) {
 	switch m := payload.(type) {
-	case rbcast.Msg:
-		p.rb.OnMessage(m)
-	case consMsg:
-		p.onConsensusMsg(from, m)
+	case *rbcast.Msg:
+		p.rb.OnMessage(*m)
+	case *consMsg:
+		// Copy K and M out of the pooled box before it is released.
+		p.onConsensusMsg(from, m.K, m.M)
 	default:
 		panic(fmt.Sprintf("ctabcast: unknown payload %T", payload))
 	}
@@ -156,7 +208,7 @@ func (p *Process) OnSuspect(q proto.PID) {
 	}
 	slices.Sort(ks)
 	for _, k := range ks {
-		p.instances[k].OnSuspect(q)
+		p.instances[k].inst.OnSuspect(q)
 	}
 }
 
@@ -199,7 +251,17 @@ func (p *Process) maybePropose() {
 		inst.Restart()
 		return
 	}
-	inst.Start(p.proposal())
+	if inst.Coordinator(1) == p.rt.ID() {
+		inst.Start(p.proposal())
+		return
+	}
+	// A non-coordinator's round-1 value is never transmitted: if the
+	// instance ever reaches round 2 with our timestamp still zero, the
+	// estimate is re-snapshotted through RefreshEstimate (the pending set
+	// cannot drain under a started, undecided instance, so the refresh is
+	// always non-nil). Starting lazily skips the snapshot allocation on
+	// the fast path.
+	inst.StartLazy()
 }
 
 // proposal snapshots the pending set in canonical order.
@@ -215,31 +277,46 @@ func (p *Process) proposal() consensus.Value {
 // instance returns (creating on demand) the consensus instance k.
 // Callers must ensure the first coordinator for k is known:
 // k <= nextDeliver, or renumbering disabled.
+//
+// Instances are pooled: a slot recycled by collectGarbage is retargeted
+// to k and its consensus.Instance reset in place, so steady-state
+// operation reuses the same handful of slots instead of allocating an
+// instance, transport box, and callback closures per batch.
 func (p *Process) instance(k uint64) *consensus.Instance {
-	inst, ok := p.instances[k]
-	if ok {
-		return inst
+	if s, ok := p.instances[k]; ok {
+		return s.inst
 	}
 	first := proto.PID(0)
 	if p.cfg.Renumber {
 		first = p.firstCoordFor(k)
 	}
-	k0 := k
-	inst = consensus.New(consensus.Config{
-		Self:         p.rt.ID(),
-		Participants: p.all,
-		FirstCoord:   first,
-		Suspects:     p.rt.Suspects,
-		Decide:       func(v consensus.Value, proposer proto.PID) { p.onDecide(k0, v, proposer) },
-		RefreshEstimate: func() consensus.Value {
-			if len(p.pending) == 0 {
-				return nil
-			}
-			return p.proposal()
-		},
-	}, consTransport{p: p, k: k})
-	p.instances[k] = inst
-	return inst
+	var s *instSlot
+	if n := len(p.slotFree); n > 0 {
+		s = p.slotFree[n-1]
+		p.slotFree = p.slotFree[:n-1]
+	} else {
+		s = &instSlot{}
+		s.tr.p = p
+		s.decide = func(v consensus.Value, proposer proto.PID) {
+			p.onDecide(s.tr.k, v, proposer)
+		}
+	}
+	s.tr.k = k
+	cfg := consensus.Config{
+		Self:            p.rt.ID(),
+		Participants:    p.all,
+		FirstCoord:      first,
+		Suspects:        p.suspectsFn,
+		Decide:          s.decide,
+		RefreshEstimate: p.refreshFn,
+	}
+	if s.inst == nil {
+		s.inst = consensus.New(cfg, &s.tr)
+	} else {
+		s.inst.Reset(cfg, &s.tr)
+	}
+	p.instances[k] = s
+	return s.inst
 }
 
 // firstCoordFor returns the round-1 coordinator of instance k under the
@@ -259,17 +336,17 @@ func (p *Process) firstCoordFor(k uint64) proto.PID {
 // reactively. With renumbering, messages for instances beyond
 // nextDeliver are buffered until the earlier decisions (which determine
 // the coordinator order) arrive.
-func (p *Process) onConsensusMsg(from proto.PID, m consMsg) {
-	if m.K < p.oldest {
+func (p *Process) onConsensusMsg(from proto.PID, k uint64, m consensus.Msg) {
+	if k < p.oldest {
 		return // instance already garbage-collected; peer is far behind
 	}
-	if p.cfg.Renumber && m.K > p.nextDeliver {
-		if _, exists := p.instances[m.K]; !exists {
-			p.buffered[m.K] = append(p.buffered[m.K], bufferedMsg{from: from, m: m.M})
+	if p.cfg.Renumber && k > p.nextDeliver {
+		if _, exists := p.instances[k]; !exists {
+			p.buffered[k] = append(p.buffered[k], bufferedMsg{from: from, m: m})
 			return
 		}
 	}
-	p.instance(m.K).OnMessage(from, m.M)
+	p.instance(k).OnMessage(from, m)
 }
 
 // onDecide records the decision of instance k and delivers in order.
@@ -304,10 +381,13 @@ func (p *Process) drainDecisions() {
 		if !ready {
 			break
 		}
-		sorted := make([]proto.MsgID, len(ids))
-		copy(sorted, ids)
-		proto.SortMsgIDs(sorted)
-		for _, id := range sorted {
+		// Sort into a reused scratch slice; the decision slice itself must
+		// stay in proposal order for decision forwarding. Deliver never
+		// reenters drainDecisions synchronously (all sends go through the
+		// event queue), so the scratch cannot be clobbered mid-iteration.
+		p.sortScratch = append(p.sortScratch[:0], ids...)
+		proto.SortMsgIDs(p.sortScratch)
+		for _, id := range p.sortScratch {
 			if !p.adelivered.Add(id) {
 				continue // decided twice across batches; deliver once
 			}
@@ -327,8 +407,8 @@ func (p *Process) drainDecisions() {
 		// Without this, a crash would trigger a relay storm across the
 		// whole retained window.
 		if p.nextDeliver >= 3 {
-			if inst, ok := p.instances[p.nextDeliver-2]; ok {
-				inst.Close()
+			if s, ok := p.instances[p.nextDeliver-2]; ok {
+				s.inst.Close()
 			}
 		}
 		p.collectGarbage()
@@ -359,9 +439,12 @@ func (p *Process) collectGarbage() {
 	}
 	floor := p.nextDeliver - uint64(p.cfg.InstanceWindow)
 	for p.oldest < floor {
-		if inst, ok := p.instances[p.oldest]; ok {
-			inst.Close()
+		if s, ok := p.instances[p.oldest]; ok {
+			s.inst.Close()
 			delete(p.instances, p.oldest)
+			// The slot is safe to reuse: the oldest watermark now filters
+			// any straggler message addressed to its previous instance.
+			p.slotFree = append(p.slotFree, s)
 		}
 		delete(p.decisions, p.oldest)
 		delete(p.proposers, p.oldest)
@@ -371,16 +454,29 @@ func (p *Process) collectGarbage() {
 }
 
 // consTransport adapts the process runtime to one instance's transport,
-// adding the instance tag.
+// adding the instance tag. It is embedded in an instSlot and addressed
+// by pointer, so handing it to consensus as a Transport does not
+// allocate.
 type consTransport struct {
 	p *Process
 	k uint64
 }
 
-func (t consTransport) Send(to proto.PID, m consensus.Msg) {
-	t.p.rt.Send(to, consMsg{K: t.k, M: m})
+// box draws a consMsg wire box from the process free list.
+func (p *Process) box(k uint64, m consensus.Msg) *consMsg {
+	if n := len(p.msgFree); n > 0 {
+		b := p.msgFree[n-1]
+		p.msgFree = p.msgFree[:n-1]
+		b.K, b.M = k, m
+		return b
+	}
+	return &consMsg{K: k, M: m, home: p}
 }
 
-func (t consTransport) Multicast(m consensus.Msg) {
-	t.p.rt.Multicast(consMsg{K: t.k, M: m})
+func (t *consTransport) Send(to proto.PID, m consensus.Msg) {
+	t.p.rt.Send(to, t.p.box(t.k, m))
+}
+
+func (t *consTransport) Multicast(m consensus.Msg) {
+	t.p.rt.Multicast(t.p.box(t.k, m))
 }

@@ -306,7 +306,7 @@ func TestCrashSteadyCoordinatorWithRenumbering(t *testing.T) {
 		if ev.Kind != netmodel.TraceSend {
 			return
 		}
-		if cm, ok := ev.Payload.(consMsg); ok {
+		if cm, ok := ev.Payload.(*consMsg); ok {
 			if fmt.Sprintf("%T", cm.M) == "consensus.MsgNack" && ev.At > cutoff {
 				nacksLate++
 			}
@@ -331,7 +331,7 @@ func TestCrashSteadyCoordinatorWithoutRenumbering(t *testing.T) {
 	cutoff := at(200)
 	c.sys.Net.SetTrace(func(ev netmodel.TraceEvent) {
 		if ev.Kind == netmodel.TraceSend {
-			if cm, ok := ev.Payload.(consMsg); ok && fmt.Sprintf("%T", cm.M) == "consensus.MsgNack" && ev.At > cutoff {
+			if cm, ok := ev.Payload.(*consMsg); ok && fmt.Sprintf("%T", cm.M) == "consensus.MsgNack" && ev.At > cutoff {
 				nacksLate++
 			}
 		}
@@ -556,7 +556,7 @@ func TestVeryLateStragglerMessagesIgnored(t *testing.T) {
 	c := newCluster(clusterOpts{n: 3})
 	p := c.procs[0]
 	p.oldest = 100
-	p.OnMessage(1, consMsg{K: 5, M: consensus.MsgAck{Round: 1}})
+	p.OnMessage(1, &consMsg{K: 5, M: consensus.MsgAck{Round: 1}})
 	// Nothing to assert beyond "no panic and no instance created".
 	if _, ok := p.instances[5]; ok {
 		t.Fatal("GC'd instance resurrected")

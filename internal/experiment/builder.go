@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ctabcast"
+	"repro/internal/fd"
+	"repro/internal/gm"
+	"repro/internal/hbfd"
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+	"repro/internal/seqabcast"
+	"repro/internal/sim"
+)
+
+// CoreConfig parameterises the shared cluster builder. Both the
+// experiment harness (newCluster) and the interactive facade
+// (repro.NewCluster) construct their simulated systems through NewCore,
+// so the per-process endpoint and recovery bookkeeping — heartbeat
+// wrapping, GM rejoin incarnations, broadcast-sequence bases — lives in
+// exactly one place.
+//
+// Callers pass already-validated, already-defaulted values: NewCore
+// panics on malformed configuration only as a backstop, because the
+// configuration is code, not input.
+type CoreConfig struct {
+	// Algorithm selects the protocol stack (FD, GM or GMNonUniform).
+	Algorithm Algorithm
+	// N is the number of processes.
+	N int
+	// Lambda is the network model's CPU/wire cost ratio (already
+	// defaulted; 1 reproduces the paper).
+	Lambda float64
+	// QoS parameterises the modelled failure detectors. The experiment
+	// harness silences it when a concrete Detector is configured; the
+	// interactive facade passes it through as given. NewCore applies
+	// whatever it receives.
+	QoS fd.QoS
+	// Detector, if non-nil, wraps every endpoint in the concrete
+	// heartbeat failure detector of internal/hbfd.
+	Detector *Heartbeat
+	// Renumber enables the FD algorithm's coordinator renumbering.
+	Renumber bool
+	// Seed is the root seed of the run's random streams.
+	Seed uint64
+	// PreCrashed lists processes crashed long before the start, deduped,
+	// in declaration order. They are excluded from the initial GM view
+	// and PreCrash-ed before Start.
+	PreCrashed []proto.PID
+	// Deliver observes every A-delivery at every process; at is the
+	// delivery instant. It must be non-nil.
+	Deliver func(p proto.PID, id proto.MsgID, body any, at sim.Time)
+	// OnView, if non-nil, observes view installations (GM algorithms
+	// only).
+	OnView func(p proto.PID, v gm.View, at sim.Time)
+}
+
+// Core is one assembled simulated system: engine, network, detectors and
+// per-process protocol stacks. The exported slices are live state shared
+// with the caller — SentBy in particular is incremented by the caller on
+// every A-broadcast and read back by recovered GM incarnations as their
+// ID-sequence base.
+type Core struct {
+	Eng *sim.Engine
+	Sys *proto.System
+	// Bcast[p] is process p's A-broadcast entry point; recovery refreshes
+	// the entries of rebuilt incarnations in place.
+	Bcast []func(body any) proto.MsgID
+	// Wrappers holds the heartbeat detectors when Detector is set.
+	Wrappers []*hbfd.Wrapper
+	// SentBy counts the A-broadcasts issued per process — callers
+	// increment it; a recovered GM incarnation continues its ID sequence
+	// from it.
+	SentBy []uint64
+	// Members lists the processes alive at start (everyone not
+	// pre-crashed), ascending: the initial GM view.
+	Members []proto.PID
+
+	// endpoint[p] constructs one protocol-stack incarnation of process p;
+	// Recover uses it to rebuild after a GM crash-recovery.
+	endpoint []func(rt proto.Runtime, rejoin bool) proto.Handler
+	alg      Algorithm
+}
+
+// NewCore builds engine + network + detectors + algorithm stacks and
+// starts the system. The construction order — engine, network
+// configuration, root random stream, protocol system, per-process
+// endpoints, pre-crashes, start — is observable through the forked
+// random streams and must not be reordered: simulations are bit-for-bit
+// reproductions of it.
+func NewCore(cfg CoreConfig) *Core {
+	if cfg.Deliver == nil {
+		panic("experiment: NewCore requires a Deliver callback")
+	}
+	eng := sim.New()
+	netCfg := netmodel.Config{
+		N:      cfg.N,
+		Lambda: sim.Millis(cfg.Lambda),
+		Slot:   time.Millisecond,
+	}
+	sys := proto.NewSystem(eng, netCfg, cfg.QoS, sim.NewRand(cfg.Seed))
+	c := &Core{
+		Eng:      eng,
+		Sys:      sys,
+		Bcast:    make([]func(any) proto.MsgID, cfg.N),
+		Wrappers: make([]*hbfd.Wrapper, cfg.N),
+		SentBy:   make([]uint64, cfg.N),
+		endpoint: make([]func(proto.Runtime, bool) proto.Handler, cfg.N),
+		alg:      cfg.Algorithm,
+	}
+
+	crashed := make(map[proto.PID]bool, len(cfg.PreCrashed))
+	for _, p := range cfg.PreCrashed {
+		crashed[p] = true
+	}
+	for p := 0; p < cfg.N; p++ {
+		if !crashed[proto.PID(p)] {
+			c.Members = append(c.Members, proto.PID(p))
+		}
+	}
+
+	for p := 0; p < cfg.N; p++ {
+		p := p
+		pid := proto.PID(p)
+		deliver := func(id proto.MsgID, body any) {
+			cfg.Deliver(pid, id, body, eng.Now())
+		}
+		// build constructs the algorithm endpoint against rt and returns
+		// the handler plus the broadcast entry point; rt is the plain
+		// process runtime, or the heartbeat wrapper's when Detector is
+		// set. rejoin marks a recovered GM incarnation: its initial view
+		// omits itself (so it starts excluded and rejoins through the
+		// membership service) and its message IDs continue the previous
+		// incarnations' sequence.
+		build := func(rt proto.Runtime, rejoin bool) (proto.Handler, func(any) proto.MsgID) {
+			switch cfg.Algorithm {
+			case FD:
+				proc := ctabcast.New(rt, ctabcast.Config{
+					Deliver:  deliver,
+					Renumber: cfg.Renumber,
+				})
+				return proc, proc.ABroadcast
+			case GM, GMNonUniform:
+				scfg := seqabcast.Config{
+					Deliver:        deliver,
+					Uniform:        cfg.Algorithm == GM,
+					InitialMembers: c.Members,
+				}
+				if rejoin {
+					scfg.InitialMembers = withoutPID(c.Members, pid)
+					scfg.SeqBase = c.SentBy[p]
+				}
+				if cfg.OnView != nil {
+					scfg.OnView = func(v gm.View) {
+						cfg.OnView(pid, v, eng.Now())
+					}
+				}
+				proc := seqabcast.New(rt, scfg)
+				return proc, proc.ABroadcast
+			default:
+				panic(fmt.Sprintf("experiment: unknown algorithm %v", cfg.Algorithm))
+			}
+		}
+		c.endpoint[p] = func(rt proto.Runtime, rejoin bool) proto.Handler {
+			if hb := cfg.Detector; hb != nil {
+				w := hbfd.Wrap(rt, hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
+					func(inner proto.Runtime) proto.Handler {
+						h, bc := build(inner, rejoin)
+						c.Bcast[p] = bc
+						return h
+					})
+				c.Wrappers[p] = w
+				return w
+			}
+			h, bc := build(rt, rejoin)
+			c.Bcast[p] = bc
+			return h
+		}
+		sys.SetHandler(pid, c.endpoint[p](sys.Proc(pid), false))
+	}
+	for _, p := range cfg.PreCrashed {
+		sys.PreCrash(p)
+	}
+	sys.Start()
+	return c
+}
+
+// Recover revives a crashed process, algorithm-aware: the GM algorithms
+// model a true crash-recovery (a fresh incarnation starts excluded,
+// rejoins through the membership service and catches up via state
+// transfer), while the crash-stop FD algorithm models recovery as the
+// end of a long outage (the process resumes with its state intact and
+// catches up through consensus decision forwarding). Either way the
+// heartbeat detector, when configured, starts beating again. Recovering
+// a live process is a no-op.
+func (c *Core) Recover(p proto.PID) {
+	if !c.Sys.Proc(p).Crashed() {
+		return
+	}
+	if c.alg == FD {
+		c.Sys.Recover(p, nil)
+		if w := c.Wrappers[p]; w != nil {
+			w.Restart()
+		}
+		return
+	}
+	c.Sys.Recover(p, func(rt proto.Runtime) proto.Handler {
+		return c.endpoint[p](rt, true)
+	})
+}
+
+// withoutPID returns members minus p, freshly allocated.
+func withoutPID(members []proto.PID, p proto.PID) []proto.PID {
+	out := make([]proto.PID, 0, len(members))
+	for _, m := range members {
+		if m != p {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -26,12 +26,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/ctabcast"
 	"repro/internal/fd"
-	"repro/internal/hbfd"
-	"repro/internal/netmodel"
 	"repro/internal/proto"
-	"repro/internal/seqabcast"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -131,6 +127,16 @@ type Config struct {
 	// the replication's events alongside the scenario. See Observer,
 	// LatencyDist and Trace.
 	Observers []ObserverFactory
+	// DistSketch switches the per-point latency distributions
+	// (Result.Dist, RepStats.Latencies, LatencyDist) from exact raw-value
+	// retention to a mergeable streaming quantile sketch with relative
+	// error at most DistSketch (see stats.Sketch): a huge point then
+	// costs O(sketch) memory instead of O(messages). Mean, CI95 and the
+	// extrema stay exact; quantiles carry the bound; Dist.Values becomes
+	// nil. Zero (the default) keeps exact mode; values must lie in
+	// [0, 1). Sketch-mode results remain bit-identical at any worker
+	// count — bucket-count merges commute.
+	DistSketch float64
 	// transient carries the crash-transient parameters down to observers
 	// when the runner executes the transient scenario, so a trace records
 	// the replayable scenario kind. Set by Runner.TransientAll only.
@@ -190,6 +196,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: N = %d", c.N)
 	case c.Throughput < 0:
 		return fmt.Errorf("experiment: negative throughput")
+	case c.DistSketch < 0 || c.DistSketch >= 1:
+		return fmt.Errorf("experiment: DistSketch = %v, want 0 (exact) or a relative error in (0, 1)", c.DistSketch)
 	}
 	if err := c.Plan.validate(c.N); err != nil {
 		return err
@@ -201,6 +209,16 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: %d pre-crashes exceed the f < n/2 bound for n = %d", pre, c.N)
 	}
 	return nil
+}
+
+// newDistCollector returns an empty latency collector in the mode
+// DistSketch selects: exact by default, sketch-backed when a relative
+// error bound is configured.
+func (c Config) newDistCollector() stats.Collector {
+	if c.DistSketch > 0 {
+		return stats.NewSketchCollector(c.DistSketch)
+	}
+	return stats.Collector{}
 }
 
 // preCrashOrder returns the processes crashed before the run starts —
@@ -260,9 +278,14 @@ type Result struct {
 // under legitimate load are orders of magnitude smaller.
 const DivergenceBacklog = 2000
 
-// cluster assembles one simulated system running one algorithm.
+// cluster assembles one simulated system running one algorithm. The
+// engine, network, detectors and per-process protocol stacks are built
+// by the shared Core builder (see builder.go); cluster adds the
+// experiment harness's concerns — backlog accounting, observers, fault
+// and load installation.
 type cluster struct {
 	cfg   Config
+	core  *Core
 	eng   *sim.Engine
 	sys   *proto.System
 	bcast []func(body any) proto.MsgID
@@ -273,14 +296,8 @@ type cluster struct {
 	// setupLoad when the scenario installs its workload; Config.Load
 	// installs through it.
 	loads *Loads
-	// endpoint[p] constructs one protocol-stack incarnation for process p
-	// (algorithm plus heartbeat wrapper when configured), refreshing
-	// bcast[p] and wrappers[p]; recovery uses it to rebuild.
-	endpoint []func(rt proto.Runtime, rejoin bool) proto.Handler
-	// wrappers holds the heartbeat detectors when Config.Detector is set.
-	wrappers []*hbfd.Wrapper
 	// sentBy counts the A-broadcasts issued per process, the ID-sequence
-	// base a recovered GM incarnation continues from.
+	// base a recovered GM incarnation continues from (Core.SentBy).
 	sentBy []uint64
 	// onDeliver is invoked for every A-delivery at every process.
 	onDeliver func(p proto.PID, id proto.MsgID)
@@ -322,16 +339,10 @@ func (c *cluster) broadcast(sender int, body any) proto.MsgID {
 // backlog returns the number of broadcasts not yet delivered at p0.
 func (c *cluster) backlog() int { return c.broadcasts - c.deliveredAt0 }
 
-// newCluster builds engine + network + detectors + algorithm stack, and
-// installs the configuration's fault plan.
+// newCluster builds engine + network + detectors + algorithm stack
+// through the shared Core builder, and installs the configuration's
+// fault plan.
 func newCluster(cfg Config, seed uint64) *cluster {
-	eng := sim.New()
-	netCfg := netmodel.Config{
-		N:      cfg.N,
-		Lambda: sim.Millis(cfg.Lambda),
-		Slot:   time.Millisecond,
-	}
-	rng := sim.NewRand(seed)
 	qos := cfg.QoS
 	if cfg.Detector != nil {
 		// The concrete heartbeat detector replaces the abstract model:
@@ -339,93 +350,32 @@ func newCluster(cfg Config, seed uint64) *cluster {
 		// Detector point is bit-identical whatever QoS it inherited.
 		qos = fd.QoS{}
 	}
-	sys := proto.NewSystem(eng, netCfg, qos, rng)
-	c := &cluster{
-		cfg:      cfg,
-		eng:      eng,
-		sys:      sys,
-		bcast:    make([]func(any) proto.MsgID, cfg.N),
-		endpoint: make([]func(proto.Runtime, bool) proto.Handler, cfg.N),
-		wrappers: make([]*hbfd.Wrapper, cfg.N),
-		sentBy:   make([]uint64, cfg.N),
-	}
-
-	pre := cfg.preCrashOrder()
-	crashed := make(map[proto.PID]bool, len(pre))
-	for _, p := range pre {
-		crashed[p] = true
-	}
-	var members []proto.PID
-	for p := 0; p < cfg.N; p++ {
-		if !crashed[proto.PID(p)] {
-			members = append(members, proto.PID(p))
-		}
-	}
-
-	for p := 0; p < cfg.N; p++ {
-		p := p
-		pid := proto.PID(p)
-		deliver := func(id proto.MsgID, body any) {
+	c := &cluster{cfg: cfg}
+	c.core = NewCore(CoreConfig{
+		Algorithm:  cfg.Algorithm,
+		N:          cfg.N,
+		Lambda:     cfg.Lambda,
+		QoS:        qos,
+		Detector:   cfg.Detector,
+		Renumber:   !cfg.DisableRenumber,
+		Seed:       seed,
+		PreCrashed: cfg.preCrashOrder(),
+		Deliver: func(pid proto.PID, id proto.MsgID, body any, at sim.Time) {
 			if pid == 0 {
 				c.deliveredAt0++
 			}
 			if c.onDeliver != nil {
 				c.onDeliver(pid, id)
 			}
-		}
-		// build constructs the algorithm endpoint against rt and returns
-		// the handler plus the broadcast entry point; rt is the plain
-		// process runtime, or the heartbeat wrapper's when Detector is set.
-		// rejoin marks a recovered GM incarnation: its initial view omits
-		// itself (so it starts excluded and rejoins through the membership
-		// service) and its message IDs continue the previous incarnations'
-		// sequence.
-		build := func(rt proto.Runtime, rejoin bool) (proto.Handler, func(any) proto.MsgID) {
-			switch cfg.Algorithm {
-			case FD:
-				proc := ctabcast.New(rt, ctabcast.Config{
-					Deliver:  deliver,
-					Renumber: !cfg.DisableRenumber,
-				})
-				return proc, proc.ABroadcast
-			default: // GM, GMNonUniform; validate() excluded the rest
-				scfg := seqabcast.Config{
-					Deliver:        deliver,
-					Uniform:        cfg.Algorithm == GM,
-					InitialMembers: members,
-				}
-				if rejoin {
-					scfg.InitialMembers = withoutPID(members, pid)
-					scfg.SeqBase = c.sentBy[p]
-				}
-				proc := seqabcast.New(rt, scfg)
-				return proc, proc.ABroadcast
-			}
-		}
-		c.endpoint[p] = func(rt proto.Runtime, rejoin bool) proto.Handler {
-			if hb := cfg.Detector; hb != nil {
-				w := hbfd.Wrap(rt, hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout},
-					func(inner proto.Runtime) proto.Handler {
-						h, bc := build(inner, rejoin)
-						c.bcast[p] = bc
-						return h
-					})
-				c.wrappers[p] = w
-				return w
-			}
-			h, bc := build(rt, rejoin)
-			c.bcast[p] = bc
-			return h
-		}
-		sys.SetHandler(pid, c.endpoint[p](sys.Proc(pid), false))
-	}
-	for _, p := range pre {
-		sys.PreCrash(p)
-	}
-	sys.Start()
+		},
+	})
+	c.eng = c.core.Eng
+	c.sys = c.core.Sys
+	c.bcast = c.core.Bcast
+	c.sentBy = c.core.SentBy
 	c.faults = &Faults{
-		Sys:     sys,
-		Recover: c.recover,
+		Sys:     c.sys,
+		Recover: c.core.Recover,
 		OnEvent: func(ev PlanEvent) {
 			if c.onPlanEvent != nil {
 				c.onPlanEvent(ev)
@@ -434,40 +384,6 @@ func newCluster(cfg Config, seed uint64) *cluster {
 	}
 	c.faults.Install(cfg.Plan)
 	return c
-}
-
-// recover revives a crashed process, algorithm-aware: the GM algorithms
-// model a true crash-recovery (a fresh incarnation starts excluded,
-// rejoins through the membership service and catches up via state
-// transfer), while the crash-stop FD algorithm models recovery as the end
-// of a long outage (the process resumes with its state intact and catches
-// up through consensus decision forwarding). Either way the heartbeat
-// detector, when configured, starts beating again.
-func (c *cluster) recover(p proto.PID) {
-	if !c.sys.Proc(p).Crashed() {
-		return
-	}
-	if c.cfg.Algorithm == FD {
-		c.sys.Recover(p, nil)
-		if w := c.wrappers[p]; w != nil {
-			w.Restart()
-		}
-		return
-	}
-	c.sys.Recover(p, func(rt proto.Runtime) proto.Handler {
-		return c.endpoint[p](rt, true)
-	})
-}
-
-// withoutPID returns members minus p, freshly allocated.
-func withoutPID(members []proto.PID, p proto.PID) []proto.PID {
-	out := make([]proto.PID, 0, len(members))
-	for _, m := range members {
-		if m != p {
-			out = append(out, m)
-		}
-	}
-	return out
 }
 
 // setupLoad installs the replication's Poisson workload — one source per

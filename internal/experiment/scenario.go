@@ -269,7 +269,7 @@ func (s *steadyScenario) Collect() RepStats {
 		ids = append(ids, id)
 	}
 	proto.SortMsgIDs(ids)
-	var rs RepStats
+	rs := RepStats{Latencies: s.cfg.newDistCollector()}
 	for _, id := range ids {
 		t1, ok := s.first[id]
 		if !ok {
@@ -334,6 +334,7 @@ func (t *transientScenario) Collect() RepStats {
 		rs.Undelivered = 1
 		return rs
 	}
+	rs.Latencies = t.cfg.newDistCollector()
 	rs.Latencies.Add(t.probeDelivered.Sub(t.probeSent).Seconds() * 1000)
 	return rs
 }

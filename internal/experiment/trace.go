@@ -234,6 +234,7 @@ type traceHeader struct {
 	TM              int64   `json:"tm,omitempty"`
 	Crashed         []int   `json:"crashed,omitempty"`
 	DisableRenumber bool    `json:"disableRenumber,omitempty"`
+	DistSketch      float64 `json:"distSketch,omitempty"`
 	Seed            uint64  `json:"seed"`
 	Warmup          int64   `json:"warmup"`
 	Measure         int64   `json:"measure"`
@@ -436,6 +437,7 @@ func headerFromConfig(cfg Config, point, rep int) traceHeader {
 		TMR:             int64(cfg.QoS.TMR),
 		TM:              int64(cfg.QoS.TM),
 		DisableRenumber: cfg.DisableRenumber,
+		DistSketch:      cfg.DistSketch,
 		Seed:            cfg.Seed,
 		Warmup:          int64(cfg.Warmup),
 		Measure:         int64(cfg.Measure),
@@ -474,6 +476,7 @@ func configFromHeader(h traceHeader) (Config, error) {
 		Throughput:      h.Throughput,
 		Lambda:          h.Lambda,
 		DisableRenumber: h.DisableRenumber,
+		DistSketch:      h.DistSketch,
 		Seed:            h.Seed,
 		Warmup:          time.Duration(h.Warmup),
 		Measure:         time.Duration(h.Measure),

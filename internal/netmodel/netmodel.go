@@ -117,6 +117,44 @@ type TraceEvent struct {
 	Payload any
 }
 
+// Pooled is implemented by payloads drawn from a free list. The network
+// reference-counts the in-flight copies of a pooled payload — one
+// reference per copy that will reach a terminal lifecycle point
+// (delivery, crash drop, partition/loss discard) — and releases each
+// copy's reference at that point, after the delivery handler and any
+// trace observer have returned. A payload whose count reaches zero may
+// be reused by its owner, so handlers and observers must not retain it
+// past their return. Non-pooled payloads are unaffected.
+type Pooled interface {
+	// Retain adds n references.
+	Retain(n int)
+	// Release drops one reference, recycling the payload at zero.
+	Release()
+}
+
+func retain(payload any, n int) {
+	if p, ok := payload.(Pooled); ok {
+		p.Retain(n)
+	}
+}
+
+func release(payload any) {
+	if p, ok := payload.(Pooled); ok {
+		p.Release()
+	}
+}
+
+// Discard recycles a pooled payload that was never handed to the
+// network — the escape hatch for senders that construct a payload and
+// then hit an early return (a crashed-process guard upstream of Send or
+// Multicast). Discarding a non-pooled payload is a no-op.
+func Discard(payload any) {
+	if p, ok := payload.(Pooled); ok {
+		p.Retain(1)
+		p.Release()
+	}
+}
+
 // PayloadName renders a trace payload compactly, preferring the
 // payload's own String method (protocol wrappers name their inner
 // message). It is the canonical payload rendering of every trace
@@ -333,8 +371,10 @@ func (nw *Network) emit(kind TraceKind, at sim.Time, from, to int, payload any) 
 // ignored.
 func (nw *Network) Send(from, to int, payload any) {
 	if nw.crashed[from] {
+		Discard(payload)
 		return
 	}
+	retain(payload, 1)
 	if from == to {
 		nw.localDeliver(from, payload)
 		return
@@ -351,8 +391,12 @@ func (nw *Network) Send(from, to int, payload any) {
 // ignored.
 func (nw *Network) Multicast(from int, payload any) {
 	if nw.crashed[from] {
+		Discard(payload)
 		return
 	}
+	// One reference for the local copy plus one per remote destination:
+	// each copy reaches exactly one terminal point.
+	retain(payload, 1+len(nw.dsts[from]))
 	nw.counters.Multicasts++
 	nw.emit(TraceSend, nw.eng.Now(), from, -1, payload)
 	nw.localDeliver(from, payload)
@@ -401,11 +445,13 @@ func (nw *Network) deliverLocal(p int, payload any) {
 	if nw.crashed[p] {
 		nw.counters.Drops++
 		nw.emit(TraceDrop, nw.eng.Now(), p, p, payload)
+		release(payload)
 		return
 	}
 	nw.counters.Deliveries++
 	nw.emit(TraceDeliver, nw.eng.Now(), p, p, payload)
 	nw.deliver(p, p, payload)
+	release(payload)
 }
 
 // throughCPU occupies the sender's CPU for λ and then hands the message to
@@ -473,6 +519,7 @@ func (nw *Network) arrive(dst, from int, payload any) {
 func (nw *Network) lose(from, dst int, payload any) {
 	nw.counters.Lost++
 	nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
+	release(payload)
 }
 
 // intoCPU occupies the destination CPU for λ and hands the message to the
@@ -493,9 +540,11 @@ func (nw *Network) deliverAt(dst, from int, payload any) {
 	if nw.crashed[dst] {
 		nw.counters.Drops++
 		nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
+		release(payload)
 		return
 	}
 	nw.counters.Deliveries++
 	nw.emit(TraceDeliver, nw.eng.Now(), from, dst, payload)
 	nw.deliver(dst, from, payload)
+	release(payload)
 }

@@ -323,6 +323,7 @@ func (p *Proc) Handler() Handler { return p.handler }
 // Send implements Runtime.
 func (p *Proc) Send(to PID, payload any) {
 	if p.crashed {
+		netmodel.Discard(payload)
 		return
 	}
 	p.sys.Net.Send(int(p.id), int(to), payload)
@@ -331,6 +332,7 @@ func (p *Proc) Send(to PID, payload any) {
 // Multicast implements Runtime.
 func (p *Proc) Multicast(payload any) {
 	if p.crashed {
+		netmodel.Discard(payload)
 		return
 	}
 	p.sys.Net.Multicast(int(p.id), payload)

@@ -19,17 +19,46 @@ import (
 
 // Msg is the wire format of one reliable broadcast. Relays carry the
 // original ID and origin, so duplicates collapse at the receiver.
+//
+// Wire copies travel as *Msg boxes drawn from the sending Broadcaster's
+// free list: the box implements the network layer's pooled-payload
+// protocol (netmodel.Pooled) and returns to the list when the last
+// in-flight copy is delivered or dropped, so a broadcast costs no
+// per-message heap allocation once the list is warm. Receivers must
+// copy what they need out of the box before returning.
 type Msg struct {
 	ID   proto.MsgID
 	Body any
+
+	refs int32
+	home *Broadcaster
 }
+
+// Retain implements the network's pooled-payload protocol: it adds n
+// in-flight copy references.
+func (m *Msg) Retain(n int) { m.refs += int32(n) }
+
+// Release drops one in-flight copy reference and returns the box to its
+// Broadcaster's free list when none remain.
+func (m *Msg) Release() {
+	if m.refs--; m.refs == 0 && m.home != nil {
+		m.Body = nil
+		m.home.free = append(m.home.free, m)
+	}
+}
+
+// String names the payload in traces. The pooled pointer box renders
+// exactly like the value payload it replaced, keeping trace output (and
+// the golden digests over it) unchanged.
+func (m *Msg) String() string { return "rbcast.Msg" }
 
 // Config wires a Broadcaster to its process.
 type Config struct {
 	// Self is the local process ID; it becomes the origin of broadcasts.
 	Self proto.PID
-	// Multicast transmits a Msg to all processes including the sender.
-	Multicast func(m Msg)
+	// Multicast transmits a Msg box to all processes including the
+	// sender. The box is owned by the network layer from this call on.
+	Multicast func(m *Msg)
 	// Deliver is the upcall on first receipt of each message.
 	Deliver func(id proto.MsgID, body any)
 }
@@ -39,14 +68,18 @@ type Broadcaster struct {
 	cfg       Config
 	seq       uint64
 	delivered *proto.IDTracker
-	// unstable holds delivered-but-not-stable messages by origin: the
-	// relay set. MarkStable prunes it, bounding relay traffic and memory.
-	unstable map[proto.PID]map[proto.MsgID]Msg
+	// unstable holds the bodies of delivered-but-not-stable messages by
+	// origin: the relay set. MarkStable prunes it, bounding relay
+	// traffic and memory.
+	unstable map[proto.PID]map[proto.MsgID]any
 	// relayed marks messages this process already re-multicast: one relay
 	// per message suffices for agreement, and without the cap a low-TMR
 	// suspicion storm would re-relay the same pending messages every few
 	// milliseconds.
 	relayed *proto.IDTracker
+	// free is the Msg box free list; boxes return to it when their last
+	// in-flight copy reaches a terminal point in the network.
+	free []*Msg
 }
 
 // New creates a Broadcaster. Both callbacks are required.
@@ -60,9 +93,21 @@ func New(cfg Config) *Broadcaster {
 	return &Broadcaster{
 		cfg:       cfg,
 		delivered: proto.NewIDTracker(),
-		unstable:  make(map[proto.PID]map[proto.MsgID]Msg),
+		unstable:  make(map[proto.PID]map[proto.MsgID]any),
 		relayed:   proto.NewIDTracker(),
 	}
+}
+
+// box draws a Msg box from the free list, allocating only when the list
+// is dry.
+func (b *Broadcaster) box(id proto.MsgID, body any) *Msg {
+	if n := len(b.free); n > 0 {
+		m := b.free[n-1]
+		b.free = b.free[:n-1]
+		m.ID, m.Body = id, body
+		return m
+	}
+	return &Msg{ID: id, Body: body, home: b}
 }
 
 // Broadcast reliably broadcasts body and returns the assigned message ID.
@@ -70,7 +115,7 @@ func New(cfg Config) *Broadcaster {
 func (b *Broadcaster) Broadcast(body any) proto.MsgID {
 	b.seq++
 	id := proto.MsgID{Origin: b.cfg.Self, Seq: b.seq}
-	b.cfg.Multicast(Msg{ID: id, Body: body})
+	b.cfg.Multicast(b.box(id, body))
 	return id
 }
 
@@ -82,10 +127,10 @@ func (b *Broadcaster) OnMessage(m Msg) {
 	}
 	set, ok := b.unstable[m.ID.Origin]
 	if !ok {
-		set = make(map[proto.MsgID]Msg)
+		set = make(map[proto.MsgID]any)
 		b.unstable[m.ID.Origin] = set
 	}
-	set[m.ID] = m
+	set[m.ID] = m.Body
 	b.cfg.Deliver(m.ID, m.Body)
 }
 
@@ -106,7 +151,7 @@ func (b *Broadcaster) OnSuspect(p proto.PID) {
 	proto.SortMsgIDs(ids)
 	for _, id := range ids {
 		if b.relayed.Add(id) {
-			b.cfg.Multicast(set[id])
+			b.cfg.Multicast(b.box(id, set[id]))
 		}
 	}
 }

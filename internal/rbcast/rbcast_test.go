@@ -32,12 +32,14 @@ func newFabric(n int) *fabric {
 		p := p
 		f.bcs[p] = New(Config{
 			Self: proto.PID(p),
-			Multicast: func(m Msg) {
+			Multicast: func(m *Msg) {
 				if f.crashed[p] {
 					return
 				}
+				// Copy the pooled box out: the fabric holds copies past
+				// the callback's return.
 				for q := 0; q < n; q++ {
-					f.queue = append(f.queue, copyTo{to: q, m: m})
+					f.queue = append(f.queue, copyTo{to: q, m: Msg{ID: m.ID, Body: m.Body}})
 				}
 			},
 			Deliver: func(id proto.MsgID, body any) {
@@ -197,7 +199,7 @@ func TestSuspicionFreeCostIsOneMulticast(t *testing.T) {
 	var deliverSelf func(m Msg)
 	b := New(Config{
 		Self:      0,
-		Multicast: func(m Msg) { sends++; deliverSelf(m) },
+		Multicast: func(m *Msg) { sends++; deliverSelf(Msg{ID: m.ID, Body: m.Body}) },
 		Deliver:   func(proto.MsgID, any) {},
 	})
 	deliverSelf = func(m Msg) { b.OnMessage(m) }
@@ -216,7 +218,7 @@ func TestMarkStableUnknownIDHarmless(t *testing.T) {
 func TestNilCallbacksPanic(t *testing.T) {
 	for name, cfg := range map[string]Config{
 		"nil multicast": {Deliver: func(proto.MsgID, any) {}},
-		"nil deliver":   {Multicast: func(Msg) {}},
+		"nil deliver":   {Multicast: func(*Msg) {}},
 	} {
 		func() {
 			defer func() {

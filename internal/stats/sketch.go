@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// sketchMinValue is the smallest positive observation the sketch
+// resolves. Anything below it (including zero and negative inputs,
+// which latencies never produce) lands in the dedicated zero bucket and
+// is reported as 0, clamped into the observed range.
+const sketchMinValue = 1e-9
+
+// Sketch is a mergeable streaming quantile sketch over a fixed
+// logarithmic bucket layout, in the style of DDSketch (Masson, Rim and
+// Lee, "DDSketch: a fast and fully-mergeable quantile sketch with
+// relative-error guarantees", VLDB 2019): bucket i counts observations
+// in (γ^(i-1), γ^i] with γ = (1+α)/(1−α), so any quantile estimate is
+// within relative error α of a true quantile of the inserted data —
+// |est − true| ≤ α·true for observations ≥ 1e-9 — using O(log(max/min)/α)
+// memory regardless of how many observations were inserted.
+//
+// Merging adds integer bucket counts, which commutes and associates
+// exactly: any merge order over any partition of the observations
+// yields bit-identical sketch state. That makes sketch-mode sweep
+// results independent of the worker count that produced them.
+//
+// The zero value is not usable; construct with NewSketch. A Sketch is
+// not safe for concurrent use.
+type Sketch struct {
+	alpha   float64
+	gamma   float64
+	lgGamma float64
+	counts  map[int]uint64
+	zero    uint64 // observations below sketchMinValue
+	total   uint64
+	min     float64
+	max     float64
+}
+
+// NewSketch creates a sketch with relative-error bound alpha. It panics
+// unless 0 < alpha < 1 — the accuracy is code, not input.
+func NewSketch(alpha float64) *Sketch {
+	if !(alpha > 0 && alpha < 1) {
+		panic(fmt.Sprintf("stats: sketch alpha %v outside (0, 1)", alpha))
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lgGamma: math.Log(gamma),
+		counts:  make(map[int]uint64),
+	}
+}
+
+// Alpha returns the sketch's relative-error bound.
+func (sk *Sketch) Alpha() float64 { return sk.alpha }
+
+// N returns the number of observations inserted.
+func (sk *Sketch) N() int { return int(sk.total) }
+
+// Add inserts one observation.
+func (sk *Sketch) Add(x float64) {
+	if sk.total == 0 {
+		sk.min, sk.max = x, x
+	} else {
+		if x < sk.min {
+			sk.min = x
+		}
+		if x > sk.max {
+			sk.max = x
+		}
+	}
+	sk.total++
+	if x < sketchMinValue {
+		sk.zero++
+		return
+	}
+	sk.counts[sk.index(x)]++
+}
+
+// index maps a positive observation to its bucket: the smallest i with
+// γ^i >= x, so bucket i covers (γ^(i-1), γ^i].
+func (sk *Sketch) index(x float64) int {
+	return int(math.Ceil(math.Log(x) / sk.lgGamma))
+}
+
+// value returns the estimate reported for bucket i: 2γ^i/(γ+1), the
+// point whose maximum relative distance to any value in (γ^(i-1), γ^i]
+// is exactly α.
+func (sk *Sketch) value(i int) float64 {
+	return 2 * math.Pow(sk.gamma, float64(i)) / (sk.gamma + 1)
+}
+
+// Merge adds another sketch's counts into sk. Both sketches must share
+// the same alpha (bucket layout); Merge panics otherwise. Merging is
+// commutative and associative bit for bit, and merging an empty sketch
+// is a no-op.
+func (sk *Sketch) Merge(o *Sketch) {
+	if o.alpha != sk.alpha {
+		panic(fmt.Sprintf("stats: merging sketches with different alphas %v and %v", sk.alpha, o.alpha))
+	}
+	if o.total == 0 {
+		return
+	}
+	if sk.total == 0 {
+		sk.min, sk.max = o.min, o.max
+	} else {
+		if o.min < sk.min {
+			sk.min = o.min
+		}
+		if o.max > sk.max {
+			sk.max = o.max
+		}
+	}
+	sk.total += o.total
+	sk.zero += o.zero
+	for i, n := range o.counts {
+		sk.counts[i] += n
+	}
+}
+
+// Quantile returns the estimated q-quantile (0 <= q <= 1). Estimates
+// are clamped into the exact observed [min, max]; q = 0 and q = 1
+// return the exact extrema. An empty sketch, or q outside [0, 1],
+// returns NaN.
+func (sk *Sketch) Quantile(q float64) float64 {
+	return sk.quantileKeys(sk.sortedKeys(), q)
+}
+
+// sortedKeys returns the occupied bucket indices in ascending order, so
+// one sort can serve several quantile reads.
+func (sk *Sketch) sortedKeys() []int {
+	keys := make([]int, 0, len(sk.counts))
+	for i := range sk.counts {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// quantileKeys reads the q-quantile given the pre-sorted bucket keys.
+func (sk *Sketch) quantileKeys(keys []int, q float64) float64 {
+	if sk.total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if q == 0 {
+		return sk.min
+	}
+	if q == 1 {
+		return sk.max
+	}
+	rank := uint64(math.Ceil(q * float64(sk.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := sk.zero
+	est := 0.0 // the zero bucket reports 0, clamped below
+	if cum < rank {
+		for _, i := range keys {
+			cum += sk.counts[i]
+			if cum >= rank {
+				est = sk.value(i)
+				break
+			}
+		}
+	}
+	if est < sk.min {
+		est = sk.min
+	}
+	if est > sk.max {
+		est = sk.max
+	}
+	return est
+}

@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sketchStream generates a deterministic, heavy-tailed observation
+// stream spanning several orders of magnitude (the shape of latency
+// data), seeded so different streams don't overlap.
+func sketchStream(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	x := seed*2862933555777941757 + 3037000493
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		u := float64(x>>11) / float64(1<<53) // uniform in [0, 1)
+		// Exponentiate into roughly [0.1ms, 1000ms].
+		out[i] = 0.1 * math.Pow(10, 4*u)
+	}
+	return out
+}
+
+// rankStat returns the exact order statistic the sketch estimates: the
+// value at rank ceil(q*n) of the sorted data.
+func rankStat(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestNewSketchPanicsOnBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSketch(%v) did not panic", alpha)
+				}
+			}()
+			NewSketch(alpha)
+		}()
+	}
+}
+
+// TestSketchErrorBound checks the documented guarantee on a heavy-tailed
+// stream: every quantile estimate is within relative error alpha of the
+// exact order statistic at the same rank.
+func TestSketchErrorBound(t *testing.T) {
+	for _, alpha := range []float64{0.01, 0.05, 0.1} {
+		sk := NewSketch(alpha)
+		values := sketchStream(1, 20000)
+		for _, x := range values {
+			sk.Add(x)
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+			want := rankStat(sorted, q)
+			got := sk.Quantile(q)
+			if err := math.Abs(got-want) / want; err > alpha {
+				t.Errorf("alpha=%v q=%v: estimate %v vs exact %v, relative error %v > %v",
+					alpha, q, got, want, err, alpha)
+			}
+		}
+		if sk.Quantile(0) != sorted[0] || sk.Quantile(1) != sorted[len(sorted)-1] {
+			t.Errorf("alpha=%v: extrema not exact: got [%v, %v], want [%v, %v]",
+				alpha, sk.Quantile(0), sk.Quantile(1), sorted[0], sorted[len(sorted)-1])
+		}
+	}
+}
+
+func TestSketchEmptyAndRangeContract(t *testing.T) {
+	sk := NewSketch(0.05)
+	if sk.N() != 0 {
+		t.Fatalf("empty sketch N = %d", sk.N())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if !math.IsNaN(sk.Quantile(q)) {
+			t.Fatalf("empty sketch Quantile(%v) = %v, want NaN", q, sk.Quantile(q))
+		}
+	}
+	sk.Add(3)
+	for _, q := range []float64{-0.1, 1.1} {
+		if !math.IsNaN(sk.Quantile(q)) {
+			t.Fatalf("Quantile(%v) = %v, want NaN", q, sk.Quantile(q))
+		}
+	}
+	if got := sk.Quantile(0.5); got < 3*(1-0.05) || got > 3*(1+0.05) {
+		t.Fatalf("single-observation quantile %v outside bound around 3", got)
+	}
+}
+
+// TestSketchZeroBucket pins the sub-resolution path: zeros (and any
+// value below the resolution floor) are counted, keep N and the exact
+// extrema right, and report as the clamped minimum.
+func TestSketchZeroBucket(t *testing.T) {
+	sk := NewSketch(0.05)
+	sk.Add(0)
+	sk.Add(0)
+	sk.Add(0)
+	sk.Add(5)
+	if sk.N() != 4 {
+		t.Fatalf("N = %d, want 4", sk.N())
+	}
+	if got := sk.Quantile(0.5); got != 0 {
+		t.Fatalf("median of {0,0,0,5} = %v, want 0 (zero bucket)", got)
+	}
+	if got := sk.Quantile(1); got != 5 {
+		t.Fatalf("max = %v, want 5 exactly", got)
+	}
+}
+
+// TestSketchMergeBitIdentical pins the worker-independence property the
+// Collector relies on: merging any partition of a stream, in any order
+// and grouping, reproduces the serially-built sketch state bit for bit.
+func TestSketchMergeBitIdentical(t *testing.T) {
+	const alpha = 0.02
+	streams := [][]float64{sketchStream(2, 700), sketchStream(3, 1100), sketchStream(4, 301)}
+	build := func(vals []float64) *Sketch {
+		sk := NewSketch(alpha)
+		for _, x := range vals {
+			sk.Add(x)
+		}
+		return sk
+	}
+
+	serial := NewSketch(alpha)
+	for _, s := range streams {
+		for _, x := range s {
+			serial.Add(x)
+		}
+	}
+
+	// (a⊕b)⊕c, a⊕(b⊕c) and c⊕b⊕a — associativity and commutativity.
+	ab := build(streams[0])
+	ab.Merge(build(streams[1]))
+	ab.Merge(build(streams[2]))
+
+	bc := build(streams[1])
+	bc.Merge(build(streams[2]))
+	abc := build(streams[0])
+	abc.Merge(bc)
+
+	cba := build(streams[2])
+	cba.Merge(build(streams[1]))
+	cba.Merge(build(streams[0]))
+
+	for name, got := range map[string]*Sketch{"(a+b)+c": ab, "a+(b+c)": abc, "c+b+a": cba} {
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("merge order %s does not reproduce the serial sketch bit for bit", name)
+		}
+	}
+}
+
+func TestSketchMergeEmptyAndMismatch(t *testing.T) {
+	sk := NewSketch(0.05)
+	sk.Add(1)
+	sk.Add(2)
+	before := *sk
+	sk.Merge(NewSketch(0.05)) // empty operand: no-op
+	if !reflect.DeepEqual(*sk, before) {
+		t.Fatal("merging an empty sketch changed the target")
+	}
+
+	empty := NewSketch(0.05)
+	empty.Merge(sk)
+	if empty.N() != 2 || empty.Quantile(0) != 1 || empty.Quantile(1) != 2 {
+		t.Fatalf("merge into empty sketch lost state: n=%d extrema [%v, %v]",
+			empty.N(), empty.Quantile(0), empty.Quantile(1))
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging sketches with different alphas did not panic")
+		}
+	}()
+	sk.Merge(NewSketch(0.1))
+}
+
+// TestSketchCollectorContract pins the Collector facade of sketch mode:
+// exact moments and extrema, bounded quantiles, nil Values, SplitAt
+// panic, and the empty-collector contract matching exact mode.
+func TestSketchCollectorContract(t *testing.T) {
+	const alpha = 0.05
+	empty := NewSketchCollector(alpha)
+	if !empty.Sketched() {
+		t.Fatal("NewSketchCollector not in sketch mode")
+	}
+	if empty.N() != 0 || !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatalf("empty sketch collector: N=%d Mean=%v P50=%v, want 0/NaN/NaN",
+			empty.N(), empty.Mean(), empty.Quantile(0.5))
+	}
+
+	values := sketchStream(5, 5000)
+	var exact Collector
+	sk := NewSketchCollector(alpha)
+	for _, x := range values {
+		exact.Add(x)
+		sk.Add(x)
+	}
+
+	// The Welford accumulator is shared, so moments and extrema are not
+	// merely close — they are the same bits.
+	if math.Float64bits(sk.Mean()) != math.Float64bits(exact.Mean()) {
+		t.Errorf("sketch-mode Mean %v differs from exact %v", sk.Mean(), exact.Mean())
+	}
+	eq, sq := exact.Quantiles(), sk.Quantiles()
+	if sq.N != eq.N || sq.Min != eq.Min || sq.Max != eq.Max {
+		t.Errorf("sketch-mode N/Min/Max (%d, %v, %v) differ from exact (%d, %v, %v)",
+			sq.N, sq.Min, sq.Max, eq.N, eq.Min, eq.Max)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for q, got := range map[float64]float64{0.50: sq.P50, 0.90: sq.P90, 0.99: sq.P99} {
+		want := rankStat(sorted, q)
+		if math.Abs(got-want)/want > alpha {
+			t.Errorf("P%v: sketch %v vs exact %v beyond relative error %v", q*100, got, want, alpha)
+		}
+	}
+
+	if sk.Values() != nil {
+		t.Error("sketch-mode Values() did not return nil")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("sketch-mode SplitAt did not panic")
+			}
+		}()
+		sk.SplitAt(1)
+	}()
+
+	// Histograms keep exact totals.
+	if got, want := sk.Histogram(0, 1000, 10).Total(), exact.Histogram(0, 1000, 10).Total(); got != want {
+		t.Errorf("sketch-mode histogram total %d, want %d", got, want)
+	}
+}
+
+// TestCollectorMixedModeMerge pins the promotion rules: exact values
+// folded into a sketch target, and an exact target promoted by a sketch
+// operand, both land in the same state as feeding the sketch directly.
+func TestCollectorMixedModeMerge(t *testing.T) {
+	const alpha = 0.05
+	a, b := sketchStream(6, 400), sketchStream(7, 600)
+
+	feed := func(c *Collector, vals []float64) {
+		for _, x := range vals {
+			c.Add(x)
+		}
+	}
+	reference := NewSketchCollector(alpha)
+	feed(&reference, a)
+	feed(&reference, b)
+
+	// Sketch target, exact operand: operand values fold into the sketch.
+	skTarget := NewSketchCollector(alpha)
+	feed(&skTarget, a)
+	var exactOperand Collector
+	feed(&exactOperand, b)
+	skTarget.Merge(&exactOperand)
+
+	// Exact target, sketch operand: target promotes to the operand's layout.
+	var exactTarget Collector
+	feed(&exactTarget, a)
+	skOperand := NewSketchCollector(alpha)
+	feed(&skOperand, b)
+	exactTarget.Merge(&skOperand)
+	if !exactTarget.Sketched() {
+		t.Fatal("merging a sketch operand did not promote the exact target")
+	}
+
+	// A zero-value target (the aggregation pattern) adopts the operand mode.
+	var zeroTarget Collector
+	skBoth := NewSketchCollector(alpha)
+	feed(&skBoth, a)
+	zeroTarget.Merge(&skBoth)
+	var skB Collector = NewSketchCollector(alpha)
+	feed(&skB, b)
+	zeroTarget.Merge(&skB)
+	if !zeroTarget.Sketched() {
+		t.Fatal("zero-value target did not adopt sketch mode")
+	}
+
+	for name, got := range map[string]Collector{
+		"sketch<-exact": skTarget, "exact<-sketch": exactTarget, "zero<-sketch": zeroTarget,
+	} {
+		if got.N() != reference.N() {
+			t.Errorf("%s: N=%d, want %d", name, got.N(), reference.N())
+			continue
+		}
+		gq, rq := got.Quantiles(), reference.Quantiles()
+		for stat, pair := range map[string][2]float64{
+			"Min": {gq.Min, rq.Min}, "P50": {gq.P50, rq.P50}, "P90": {gq.P90, rq.P90},
+			"P99": {gq.P99, rq.P99}, "Max": {gq.Max, rq.Max},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Errorf("%s: %s = %v, want %v bit-identically", name, stat, pair[0], pair[1])
+			}
+		}
+	}
+
+	// Empty merges stay exact in both directions, preserving mode.
+	var exact Collector
+	feed(&exact, a)
+	exact.Merge(&Collector{})
+	emptySketch := NewSketchCollector(alpha)
+	exact.Merge(&emptySketch)
+	if exact.Sketched() {
+		t.Error("merging an empty sketch collector promoted the target")
+	}
+	if exact.N() != len(a) {
+		t.Errorf("empty merges changed N: %d, want %d", exact.N(), len(a))
+	}
+}

@@ -267,7 +267,14 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 }
 
 // Add records an observation.
-func (h *Histogram) Add(x float64) {
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN records n observations of the same value, the bulk form used
+// when re-binning a quantile sketch's buckets. n <= 0 records nothing.
+func (h *Histogram) AddN(x float64, n int) {
+	if n <= 0 {
+		return
+	}
 	bins := len(h.Counts)
 	i := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
 	if i < 0 {
@@ -276,8 +283,8 @@ func (h *Histogram) Add(x float64) {
 	if i >= bins {
 		i = bins - 1
 	}
-	h.Counts[i]++
-	h.total++
+	h.Counts[i] += n
+	h.total += n
 }
 
 // Total returns the number of observations recorded.

@@ -124,7 +124,23 @@ func RunSteadyAll(cfgs []Config) []Result {
 // every raw observation, supporting exact quantiles, histograms and the
 // early/late population split of the paper's crash and suspicion
 // figures. Result.Dist and TransientResult.Dist carry one per point.
+//
+// Setting Config.DistSketch switches the per-point collectors to a
+// bounded-memory streaming quantile sketch (see Sketch): means and
+// confidence intervals stay exact, quantiles carry the configured
+// relative-error bound, and a multi-million-message point costs
+// O(sketch) memory instead of retaining every latency.
 type Collector = stats.Collector
+
+// Sketch is the mergeable streaming quantile sketch behind sketch-mode
+// collectors: DDSketch-style logarithmic buckets with a configurable
+// relative-error bound and an order-insensitive, bit-exact merge.
+type Sketch = stats.Sketch
+
+// NewSketchCollector creates an empty Collector in sketch mode with the
+// given relative-error bound (0 < alpha < 1), for code that aggregates
+// distributions outside the experiment harness.
+func NewSketchCollector(alpha float64) Collector { return stats.NewSketchCollector(alpha) }
 
 // Quantiles snapshots a distribution's order statistics (min, P50, P90,
 // P99, max); every Result carries one for its point.
