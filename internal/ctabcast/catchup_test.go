@@ -1,0 +1,48 @@
+package ctabcast
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/proto"
+)
+
+// TestLongOutageRecoveryDeliversSuffix is the silent-wedge regression
+// guard: a process that recovers after missing more than InstanceWindow
+// decisions must still deliver the full suffix it missed. Peers have
+// garbage-collected the consensus instances it needs, so ordinary
+// decision forwarding cannot help — only the decision-log catch-up
+// protocol can close the gap.
+func TestLongOutageRecoveryDeliversSuffix(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: 10 * time.Millisecond}})
+	c.sys.CrashAt(2, at(100))
+	// 150 spaced broadcasts while p2 is down — each far enough apart to
+	// decide its own consensus instance, so the outage spans well over
+	// InstanceWindow (64) decisions.
+	for i := 0; i < 150; i++ {
+		c.broadcastAt(proto.PID(i%2), at(float64(150+15*i)))
+	}
+	recoverAt := at(2600)
+	c.eng.Schedule(recoverAt, func() { c.sys.Recover(2, nil) })
+	// The scenario is only meaningful if the gap really exceeds the
+	// retention window at recovery time.
+	c.eng.Schedule(recoverAt.Add(time.Millisecond), func() {
+		gap := c.procs[0].NextInstance() - c.procs[2].NextInstance()
+		if gap <= uint64(c.procs[0].cfg.InstanceWindow) {
+			t.Errorf("outage spanned only %d decisions, want > InstanceWindow (%d)",
+				gap, c.procs[0].cfg.InstanceWindow)
+		}
+	})
+	// Post-recovery traffic: the straggler sees live consensus messages
+	// tagged with instance numbers far beyond its own frontier — the
+	// evidence that it is behind.
+	for i := 0; i < 6; i++ {
+		c.broadcastAt(proto.PID(i%3), recoverAt.Add(time.Duration(30*(i+1))*time.Millisecond))
+	}
+	c.run(20 * time.Second)
+	c.checkTotalOrder(t)
+	// The recovered process must hold the complete sequence: everything
+	// decided during the outage plus everything after recovery.
+	c.checkAllDelivered(t)
+}
