@@ -225,6 +225,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	c.faults = &experiment.Faults{
 		Sys:     c.sys,
 		Recover: c.core.Recover,
+		Healed:  c.core.Healed,
 		OnEvent: func(ev PlanEvent) {
 			if cfg.OnFault != nil {
 				cfg.OnFault(eng.Now().Duration(), ev)

@@ -592,8 +592,9 @@ func figHeartbeat() {
 // figPartition drives both algorithms through a partition-and-heal
 // FaultPlan: a majority/minority split opens mid-measurement and heals
 // before it ends. The distributions separate the algorithms the way no
-// failure-free figure can: the FD algorithm keeps serving the majority
-// and loses the minority's partition-era messages outright (no
+// failure-free figure can: the FD algorithm keeps serving the majority,
+// catches the minority back up through decision-log catch-up after the
+// heal, but loses the minority's own partition-era messages outright (no
 // retransmission in its reliable broadcast), while the GM algorithm
 // excludes the minority, welcomes it back through rejoin + state
 // transfer, and recovers every message — at the price of a heavy late
@@ -616,7 +617,8 @@ func figPartition() {
 // GM algorithm pays a sequencer failover, then a rejoin with full state
 // transfer, then a second failover; the crash-stop FD algorithm treats
 // the recovery as the end of an outage and resumes the process with its
-// state intact, catching up through decision forwarding.
+// state intact, closing its gap through decision-log catch-up (short
+// gaps also close through ordinary decision forwarding).
 func figChurn() {
 	const n = 3
 	warmup := time.Second
@@ -939,6 +941,45 @@ func figSmoke() {
 	fmt.Println("# Load grid: 4x burst 400..600ms + mute p2 600..900ms; FD (point 0) vs GM (point 1)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
 	for i, r := range loadRes {
+		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\n", i,
+			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages, r.Undelivered)
+	}
+	fmt.Println("# point\trep\tdelivery_digest")
+	for _, d := range tr.Digests() {
+		fmt.Printf("%d\t%d\t%016x\n", d.Point, d.Rep, d.Digest)
+	}
+	if err := tr.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace flush: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Fourth pinned grid: a long outage — p2 down for a full second of
+	// dense traffic, far more decisions than the FD consensus instance
+	// window retains — exercising the decision-log catch-up path end to
+	// end (GM rides the same plan through its rejoin machinery).
+	outagePlan := repro.NewFaultPlan().
+		Crash(300*time.Millisecond, 2).
+		Recover(1300*time.Millisecond, 2)
+	outageSweep := repro.Sweep{
+		Base: repro.Config{
+			Algorithm:    repro.FD,
+			N:            3,
+			Throughput:   150,
+			QoS:          repro.Detectors(10, 0, 0),
+			Seed:         1,
+			Warmup:       200 * time.Millisecond,
+			Measure:      1300 * time.Millisecond,
+			Drain:        5 * time.Second,
+			Replications: 2,
+			Plan:         outagePlan,
+			Observers:    []repro.ObserverFactory{tr.Observer},
+		},
+		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
+	}
+	outageRes := runner.Sweep(outageSweep)
+	fmt.Println("# Outage grid: crash p2 at 300ms, recover at 1300ms, T=150/s; FD (point 0) vs GM (point 1)")
+	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
+	for i, r := range outageRes {
 		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\n", i,
 			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages, r.Undelivered)
 	}

@@ -1,10 +1,12 @@
 // FaultPlan walkthrough: the same partition-and-heal timeline driven
 // through both atomic broadcast algorithms. While the network is split
 // the majority keeps delivering and the failure detectors treat the
-// minority as crashed; after the heal the two algorithms diverge — the
-// GM algorithm notices it was excluded in absentia, rejoins with state
-// transfer and re-announces the messages the partition swallowed, while
-// the crash-stop FD algorithm simply resumes and loses them.
+// minority as crashed; after the heal the two algorithms converge on the
+// majority's order by different means — the GM algorithm notices it was
+// excluded in absentia, rejoins with state transfer and re-announces the
+// messages the partition swallowed; the crash-stop FD algorithm catches
+// the minority up through its decision log, but the minority's own
+// partition-era messages are lost for good (no retransmission).
 //
 //	go run ./examples/faults
 package main
@@ -63,10 +65,11 @@ func main() {
 		fmt.Printf("\n  copies lost to the partition: %d\n", st.Lost)
 		switch alg {
 		case repro.FD:
-			fmt.Println("  -> FD: the majority never stopped, at failure-free latency. But the minority's")
-			fmt.Println("     partition-era messages are gone (no retransmission), and p3/p4 stay wedged")
-			fmt.Println("     behind missed decisions: Chandra-Toueg assumes quasi-reliable channels,")
-			fmt.Println("     which the partition violated.")
+			fmt.Println("  -> FD: the majority never stopped, at failure-free latency. After the heal,")
+			fmt.Println("     p3/p4 notice they are behind and catch up through the decision log: they")
+			fmt.Println("     request and re-deliver the suffix of decisions the partition hid. Only the")
+			fmt.Println("     minority's own partition-era messages stay lost - Chandra-Toueg assumes")
+			fmt.Println("     quasi-reliable channels and has no retransmission for what the split ate.")
 		default:
 			fmt.Println("  -> GM: p3/p4 were excluded in absentia, noticed, rejoined with state transfer")
 			fmt.Println("     and re-announced their swallowed messages - nothing lost, just delivered late.")

@@ -27,6 +27,7 @@ var goldenDigests = map[string]uint64{
 	"GM/n=5/cascade-crashes":     0xa312c893cf725274,
 	"GM/n=5/partition-heal":      0x566979f693c552b8,
 	"FD/n=3/churn-recover":       0x38d9f98d7d141577,
+	"FD/n=3/long-outage":         0x8c5efb84de1e0fd1,
 }
 
 // goldenScenario drives one fully scripted cluster and folds every
@@ -155,6 +156,28 @@ func goldenScenarios() []goldenScenario {
 			run:   3 * time.Second,
 		},
 		{
+			// An outage spanning far more than the consensus instance
+			// window (64): peers garbage-collect everything p2 misses, so
+			// its recovery exercises the decision-log catch-up protocol —
+			// suffix request, ordered re-delivery, then live traffic.
+			name: "FD/n=3/long-outage",
+			cfg: ClusterConfig{
+				Algorithm: FD, N: 3, Seed: 37, QoS: Detectors(10, 0, 0),
+				Plan: NewFaultPlan().
+					Crash(60*time.Millisecond, 2).
+					Recover(2100*time.Millisecond, 2),
+			},
+			drive: func(c *Cluster) {
+				for i := 0; i < 120; i++ {
+					c.BroadcastAt(i%2, time.Duration(80+15*i)*time.Millisecond, i)
+				}
+				for i := 0; i < 6; i++ {
+					c.BroadcastAt(i%3, time.Duration(2200+30*i)*time.Millisecond, 1000+i)
+				}
+			},
+			run: 8 * time.Second,
+		},
+		{
 			// Crash-recover-crash churn of the coordinator through the
 			// plan surface; FD resumes p0 with its state intact.
 			name: "FD/n=3/churn-recover",
@@ -212,6 +235,43 @@ func TestGoldenTraceDigests(t *testing.T) {
 				t.Fatalf("trace digest = %#016x, want %#016x — the kernel no longer reproduces this simulation bit for bit", got, want)
 			}
 		})
+	}
+}
+
+// TestFDLongOutageClusterUnwedges is the facade-level acceptance check
+// for decision-log catch-up: after an outage spanning far more than the
+// consensus instance window, the recovered process delivers the entire
+// missed suffix and every post-recovery message, in the same order as an
+// always-up process.
+func TestFDLongOutageClusterUnwedges(t *testing.T) {
+	var sc goldenScenario
+	for _, s := range goldenScenarios() {
+		if s.name == "FD/n=3/long-outage" {
+			sc = s
+		}
+	}
+	if sc.drive == nil {
+		t.Fatal("long-outage scenario missing")
+	}
+	cfg := sc.cfg
+	perProc := make([][]MessageID, cfg.N)
+	cfg.OnDeliver = func(d Delivery) {
+		perProc[d.Process] = append(perProc[d.Process], d.ID)
+	}
+	c := NewCluster(cfg)
+	sc.drive(c)
+	c.Run(sc.run)
+	const sent = 126 // 120 outage-era + 6 post-recovery broadcasts
+	if got := len(perProc[0]); got != sent {
+		t.Fatalf("reference process delivered %d/%d messages", got, sent)
+	}
+	if got := len(perProc[2]); got != sent {
+		t.Fatalf("recovered process delivered %d/%d messages — still wedged behind the instance window", got, sent)
+	}
+	for i := range perProc[0] {
+		if perProc[0][i] != perProc[2][i] {
+			t.Fatalf("delivery order diverges at %d: p0 has %v, p2 has %v", i, perProc[0][i], perProc[2][i])
+		}
 	}
 }
 

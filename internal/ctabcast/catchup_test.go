@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/fd"
+	"repro/internal/netmodel"
 	"repro/internal/proto"
 )
 
@@ -44,5 +45,155 @@ func TestLongOutageRecoveryDeliversSuffix(t *testing.T) {
 	c.checkTotalOrder(t)
 	// The recovered process must hold the complete sequence: everything
 	// decided during the outage plus everything after recovery.
+	c.checkAllDelivered(t)
+}
+
+// TestCatchUpRetriesAfterResponderCrash exercises the retry path: the
+// first catch-up request goes to a peer that has just crashed, so the
+// exchange only completes because the retry timer rotates to a live
+// responder.
+func TestCatchUpRetriesAfterResponderCrash(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: 10 * time.Millisecond}})
+	reqTo := make([]int, 3)
+	c.sys.Net.SetTrace(func(ev netmodel.TraceEvent) {
+		if ev.Kind == netmodel.TraceSend && ev.To >= 0 {
+			if _, ok := ev.Payload.(*catchUpReq); ok {
+				reqTo[ev.To]++
+			}
+		}
+	})
+	c.sys.CrashAt(2, at(100))
+	for i := 0; i < 150; i++ {
+		c.broadcastAt(proto.PID(i%2), at(float64(150+15*i)))
+	}
+	c.sys.CrashAt(1, at(2500))
+	recoverAt := at(2600)
+	c.eng.Schedule(recoverAt, func() { c.sys.Recover(2, nil) })
+	// The system is otherwise idle after p1's crash, so no passive
+	// evidence flows; start the exchange directly, aimed at the freshly
+	// crashed p1 — the worst possible first target.
+	c.eng.Schedule(recoverAt.Add(time.Millisecond), func() {
+		p := c.procs[2]
+		p.maxSeen = c.procs[0].NextInstance() - 1
+		p.maxSeenFrom = 1
+		p.startCatchUp()
+	})
+	c.run(20 * time.Second)
+	if reqTo[1] == 0 {
+		t.Fatal("scenario broken: no catch-up request ever went to the crashed responder")
+	}
+	if reqTo[0] == 0 {
+		t.Fatal("retry never rotated to a live responder")
+	}
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+// TestTruncatedLogSnapshotFallback forces the full-snapshot handoff: with
+// a tiny LogRetain the responders have trimmed the prefix the straggler
+// needs, so the reply must carry a tracker snapshot. The straggler
+// unwedges — it delivers the retained tail and everything after recovery
+// — at the documented price of a delivery gap over the truncated prefix.
+func TestTruncatedLogSnapshotFallback(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: 10 * time.Millisecond}, logRetain: 16})
+	snapReplies := 0
+	c.sys.Net.SetTrace(func(ev netmodel.TraceEvent) {
+		if ev.Kind != netmodel.TraceSend {
+			return
+		}
+		if r, ok := ev.Payload.(*catchUpReply); ok && r.Snap != nil {
+			snapReplies++
+		}
+	})
+	c.sys.CrashAt(2, at(100))
+	for i := 0; i < 150; i++ {
+		c.broadcastAt(proto.PID(i%2), at(float64(150+15*i)))
+	}
+	recoverAt := at(2600)
+	c.eng.Schedule(recoverAt, func() { c.sys.Recover(2, nil) })
+	for i := 0; i < 6; i++ {
+		c.broadcastAt(proto.PID(i%3), recoverAt.Add(time.Duration(30*(i+1))*time.Millisecond))
+	}
+	c.run(20 * time.Second)
+	if snapReplies == 0 {
+		t.Fatal("expected at least one full-snapshot fallback reply")
+	}
+	p0, p2 := c.ids(0), c.ids(2)
+	if len(p2) == 0 {
+		t.Fatal("recovered process stayed wedged: delivered nothing")
+	}
+	if len(p2) >= len(p0) {
+		t.Fatalf("expected a truncated prefix at p2: p2 delivered %d, p0 %d", len(p2), len(p0))
+	}
+	// Everything p2 did deliver is the exact tail of the total order.
+	tail := p0[len(p0)-len(p2):]
+	for i := range p2 {
+		if p2[i] != tail[i] {
+			t.Fatalf("suffix mismatch at %d: p2 has %v, total order has %v", i, p2[i], tail[i])
+		}
+	}
+	// No post-recovery message may fall in the gap.
+	got := make(map[proto.MsgID]bool, len(p2))
+	for _, id := range p2 {
+		got[id] = true
+	}
+	for id, sentAt := range c.sent {
+		if sentAt >= recoverAt && !got[id] {
+			t.Fatalf("post-recovery message %v never delivered at the recovered process", id)
+		}
+	}
+}
+
+// TestDuplicateCatchUpRepliesHarmless injects an unsolicited, duplicated
+// suffix reply: p0 answers a request p2 never sent, twice. The first copy
+// catches p2 up; the second must be a no-op — replies are idempotent, so
+// nothing is delivered twice and the frontier never rewinds.
+func TestDuplicateCatchUpRepliesHarmless(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: 10 * time.Millisecond}})
+	c.sys.CrashAt(2, at(100))
+	for i := 0; i < 150; i++ {
+		c.broadcastAt(proto.PID(i%2), at(float64(150+15*i)))
+	}
+	recoverAt := at(2600)
+	c.eng.Schedule(recoverAt, func() { c.sys.Recover(2, nil) })
+	c.eng.Schedule(recoverAt.Add(5*time.Millisecond), func() {
+		c.procs[0].onCatchUpReq(2, c.procs[2].NextInstance())
+		c.procs[0].onCatchUpReq(2, c.procs[2].NextInstance())
+	})
+	for i := 0; i < 6; i++ {
+		c.broadcastAt(proto.PID(i%3), recoverAt.Add(time.Duration(30*(i+1))*time.Millisecond))
+	}
+	c.run(20 * time.Second)
+	seen := make(map[proto.MsgID]bool)
+	for _, d := range c.deliveries[2] {
+		if seen[d.id] {
+			t.Fatalf("duplicate delivery of %v at recovered process", d.id)
+		}
+		seen[d.id] = true
+	}
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
+// TestCatchUpRacesNewDecisions keeps new broadcasts landing throughout
+// the catch-up exchange: every suffix reply arrives slightly stale
+// because decisions kept happening while it travelled, so the requester
+// must keep going from its new frontier until it converges with the
+// moving tip.
+func TestCatchUpRacesNewDecisions(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: 10 * time.Millisecond}})
+	c.sys.CrashAt(2, at(100))
+	for i := 0; i < 150; i++ {
+		c.broadcastAt(proto.PID(i%2), at(float64(150+15*i)))
+	}
+	recoverAt := at(2600)
+	c.eng.Schedule(recoverAt, func() { c.sys.Recover(2, nil) })
+	// Dense traffic from the moment of recovery: the exchange races a
+	// constantly advancing frontier.
+	for i := 0; i < 60; i++ {
+		c.broadcastAt(proto.PID(i%2), recoverAt.Add(time.Duration(5+5*i)*time.Millisecond))
+	}
+	c.run(20 * time.Second)
+	c.checkTotalOrder(t)
 	c.checkAllDelivered(t)
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/proto"
@@ -78,6 +79,18 @@ type Config struct {
 	// retained for decision forwarding to stragglers. Zero selects a
 	// sensible default.
 	InstanceWindow int
+	// LogRetain bounds the decision log kept for catch-up suffix
+	// transfer — the recovery path for gaps wider than InstanceWindow
+	// (see catchup.go). It should exceed InstanceWindow by a comfortable
+	// margin; a straggler whose gap outgrows even the log falls back to
+	// the full-snapshot handoff. Zero selects a sensible default.
+	LogRetain int
+	// CatchUpDelay is how long after Resume() the catch-up probe checks
+	// for evidence of lag. Zero selects a sensible default.
+	CatchUpDelay time.Duration
+	// CatchUpRetry is the base retry backoff of the catch-up exchange
+	// (doubling, capped). Zero selects a sensible default.
+	CatchUpRetry time.Duration
 }
 
 const defaultInstanceWindow = 64
@@ -103,10 +116,24 @@ type Process struct {
 	firstCoord  proto.PID                // round-1 coordinator of instance nextDeliver
 	oldest      uint64                   // lowest retained instance
 
+	// Decision log and catch-up state (see catchup.go). The log covers
+	// instances [logStart, logStart+len(log)), and logStart+len(log) ==
+	// nextDeliver always holds.
+	log         []logEntry
+	logStart    uint64
+	maxSeen     uint64        // highest instance seen in peer consensus traffic
+	maxSeenFrom proto.PID     // sender of that traffic: the most advanced peer known
+	cuActive    bool          // a catch-up exchange is in progress
+	cuTarget    proto.PID     // peer currently asked
+	cuBackoff   time.Duration // next retry delay
+	cuSeq       uint64        // strands stale retry timers
+
 	// Free lists and cached callbacks: the high-rate allocation sites of
 	// the hot path, each reused across instances and messages.
-	msgFree     []*consMsg  // recycled consMsg wire boxes
-	slotFree    []*instSlot // recycled instance slots (GC'd instances)
+	msgFree     []*consMsg      // recycled consMsg wire boxes
+	reqFree     []*catchUpReq   // recycled catch-up request boxes
+	replyFree   []*catchUpReply // recycled catch-up reply boxes
+	slotFree    []*instSlot     // recycled instance slots (GC'd instances)
 	sortScratch []proto.MsgID
 	suspectsFn  func(proto.PID) bool
 	refreshFn   func() consensus.Value
@@ -140,6 +167,15 @@ func New(rt proto.Runtime, cfg Config) *Process {
 	if cfg.InstanceWindow <= 0 {
 		cfg.InstanceWindow = defaultInstanceWindow
 	}
+	if cfg.LogRetain <= 0 {
+		cfg.LogRetain = defaultLogRetain
+	}
+	if cfg.CatchUpDelay <= 0 {
+		cfg.CatchUpDelay = defaultCatchUpDelay
+	}
+	if cfg.CatchUpRetry <= 0 {
+		cfg.CatchUpRetry = defaultCatchUpRetry
+	}
 	p := &Process{
 		rt:          rt,
 		cfg:         cfg,
@@ -152,6 +188,7 @@ func New(rt proto.Runtime, cfg Config) *Process {
 		buffered:    make(map[uint64][]bufferedMsg),
 		nextDeliver: 1,
 		oldest:      1,
+		logStart:    1,
 	}
 	p.all = make([]proto.PID, rt.N())
 	for i := range p.all {
@@ -190,6 +227,13 @@ func (p *Process) OnMessage(from proto.PID, payload any) {
 	case *consMsg:
 		// Copy K and M out of the pooled box before it is released.
 		p.onConsensusMsg(from, m.K, m.M)
+	case *catchUpReq:
+		p.onCatchUpReq(from, m.From)
+	case *catchUpReply:
+		// Handled synchronously before the pooled box is released; entry
+		// slices taken from it are immutable shares of the responder's
+		// log, the established cross-process idiom for decided values.
+		p.onCatchUpReply(m)
 	default:
 		panic(fmt.Sprintf("ctabcast: unknown payload %T", payload))
 	}
@@ -337,6 +381,7 @@ func (p *Process) firstCoordFor(k uint64) proto.PID {
 // nextDeliver are buffered until the earlier decisions (which determine
 // the coordinator order) arrive.
 func (p *Process) onConsensusMsg(from proto.PID, k uint64, m consensus.Msg) {
+	p.noteInstance(from, k)
 	if k < p.oldest {
 		return // instance already garbage-collected; peer is far behind
 	}
@@ -381,6 +426,10 @@ func (p *Process) drainDecisions() {
 		if !ready {
 			break
 		}
+		// Log the batch before delivery consumes the bodies: catch-up
+		// serves stragglers from the log long after the consensus
+		// instances themselves are garbage-collected.
+		p.appendLog(ids)
 		// Sort into a reused scratch slice; the decision slice itself must
 		// stay in proposal order for decision forwarding. Deliver never
 		// reenters drainDecisions synchronously (all sends go through the

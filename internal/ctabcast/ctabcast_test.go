@@ -30,11 +30,12 @@ type delivery struct {
 }
 
 type clusterOpts struct {
-	n        int
-	qos      fd.QoS
-	renumber bool
-	seed     uint64
-	preCrash []proto.PID
+	n         int
+	qos       fd.QoS
+	renumber  bool
+	seed      uint64
+	preCrash  []proto.PID
+	logRetain int // decision-log retention; 0 = package default
 }
 
 func newCluster(o clusterOpts) *cluster {
@@ -53,7 +54,8 @@ func newCluster(o clusterOpts) *cluster {
 	for i := 0; i < o.n; i++ {
 		i := i
 		c.procs[i] = New(sys.Proc(proto.PID(i)), Config{
-			Renumber: o.renumber,
+			Renumber:  o.renumber,
+			LogRetain: o.logRetain,
 			Deliver: func(id proto.MsgID, body any) {
 				c.deliveries[i] = append(c.deliveries[i], delivery{id: id, at: eng.Now()})
 			},

@@ -76,6 +76,9 @@ type Core struct {
 	// Members lists the processes alive at start (everyone not
 	// pre-crashed), ascending: the initial GM view.
 	Members []proto.PID
+	// FDProcs holds the ctabcast endpoints when Algorithm is FD (nil
+	// entries otherwise): Recover and Healed arm their catch-up probes.
+	FDProcs []*ctabcast.Process
 
 	// endpoint[p] constructs one protocol-stack incarnation of process p;
 	// Recover uses it to rebuild after a GM crash-recovery.
@@ -106,6 +109,7 @@ func NewCore(cfg CoreConfig) *Core {
 		Bcast:    make([]func(any) proto.MsgID, cfg.N),
 		Wrappers: make([]*hbfd.Wrapper, cfg.N),
 		SentBy:   make([]uint64, cfg.N),
+		FDProcs:  make([]*ctabcast.Process, cfg.N),
 		endpoint: make([]func(proto.Runtime, bool) proto.Handler, cfg.N),
 		alg:      cfg.Algorithm,
 	}
@@ -140,6 +144,7 @@ func NewCore(cfg CoreConfig) *Core {
 					Deliver:  deliver,
 					Renumber: cfg.Renumber,
 				})
+				c.FDProcs[p] = proc
 				return proc, proc.ABroadcast
 			case GM, GMNonUniform:
 				scfg := seqabcast.Config{
@@ -190,10 +195,11 @@ func NewCore(cfg CoreConfig) *Core {
 // model a true crash-recovery (a fresh incarnation starts excluded,
 // rejoins through the membership service and catches up via state
 // transfer), while the crash-stop FD algorithm models recovery as the
-// end of a long outage (the process resumes with its state intact and
-// catches up through consensus decision forwarding). Either way the
-// heartbeat detector, when configured, starts beating again. Recovering
-// a live process is a no-op.
+// end of a long outage — the process resumes with its state intact and
+// closes its decision gap through decision-log catch-up (ctabcast's
+// suffix transfer; Resume arms the probe). Either way the heartbeat
+// detector, when configured, starts beating again. Recovering a live
+// process is a no-op.
 func (c *Core) Recover(p proto.PID) {
 	if !c.Sys.Proc(p).Crashed() {
 		return
@@ -203,11 +209,29 @@ func (c *Core) Recover(p proto.PID) {
 		if w := c.Wrappers[p]; w != nil {
 			w.Restart()
 		}
+		c.FDProcs[p].Resume()
 		return
 	}
 	c.Sys.Recover(p, func(rt proto.Runtime) proto.Handler {
 		return c.endpoint[p](rt, true)
 	})
+}
+
+// Healed arms the FD catch-up probe on every live process after a
+// partition heal: a healed minority segment has missed the majority's
+// decisions and must ask for the suffix — decision forwarding alone
+// cannot unwedge it once the gap is real. The GM algorithms run their
+// own staleness probe off the heal's trust edges, so this is a no-op
+// for them. Probes on processes that were not behind disarm silently.
+func (c *Core) Healed() {
+	if c.alg != FD {
+		return
+	}
+	for p, proc := range c.FDProcs {
+		if proc != nil && !c.Sys.Proc(proto.PID(p)).Crashed() {
+			proc.Resume()
+		}
+	}
 }
 
 // withoutPID returns members minus p, freshly allocated.

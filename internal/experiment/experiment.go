@@ -376,6 +376,7 @@ func newCluster(cfg Config, seed uint64) *cluster {
 	c.faults = &Faults{
 		Sys:     c.sys,
 		Recover: c.core.Recover,
+		Healed:  c.core.Healed,
 		OnEvent: func(ev PlanEvent) {
 			if c.onPlanEvent != nil {
 				c.onPlanEvent(ev)

@@ -76,8 +76,9 @@ type Crash struct {
 // the membership service's join protocol and catches up via state
 // transfer. The FD algorithm is crash-stop — it has no rejoin protocol —
 // so recovery is modelled as the end of a long outage: the process
-// resumes with its state intact and catches up through consensus
-// decision forwarding.
+// resumes with its state intact and closes its decision gap through
+// decision-log catch-up (a suffix transfer from a live peer, robust to
+// outages far longer than the consensus instance window).
 type Recover struct {
 	At time.Duration
 	P  proto.PID
@@ -352,6 +353,10 @@ type Faults struct {
 	// Recover performs algorithm-aware recovery of a process; it must be
 	// set before a Recover event applies.
 	Recover func(p proto.PID)
+	// Healed, if non-nil, runs after a Heal event restores reachability —
+	// the hook algorithm-aware builders use to arm catch-up probes on
+	// processes a partition left behind (see Core.Healed).
+	Healed func()
 	// OnEvent, if non-nil, observes each event at the instant it applies.
 	OnEvent func(ev PlanEvent)
 }
@@ -397,6 +402,9 @@ func (f *Faults) Fire(ev PlanEvent) {
 		f.Sys.Partition(e.Groups)
 	case Heal:
 		f.Sys.Heal()
+		if f.Healed != nil {
+			f.Healed()
+		}
 	case LinkFault:
 		f.Sys.Net.SetLink(int(e.From), int(e.To), e.Loss, e.ExtraDelay)
 	case PreCrash:

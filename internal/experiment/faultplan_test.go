@@ -40,16 +40,36 @@ func crashRecoverPlan() *FaultPlan {
 		Recover(1600*time.Millisecond, 4)
 }
 
+// longOutagePlan keeps p4 down through two full seconds of steady
+// traffic — a couple of hundred decisions, several times the FD
+// consensus instance window — so peers garbage-collect every instance
+// the crashed process misses and its recovery can only complete through
+// decision-log catch-up.
+func longOutagePlan() *FaultPlan {
+	return NewFaultPlan().
+		Crash(600*time.Millisecond, 4).
+		Recover(2400*time.Millisecond, 4)
+}
+
 // goldenPlanDigests pin the delivery digests of one partition-heal and
 // one crash-recover replication per algorithm. They were recorded when
 // the FaultPlan machinery was introduced; a change means partitions,
 // recoveries or their failure-detector coupling retime or reorder
 // events — a correctness bug, not a baseline to re-record.
+//
+// The FD entries were re-recorded once, when decision-log catch-up
+// landed: a recovered or heal-rejoined FD process now requests and
+// re-delivers the decision suffix it missed instead of staying wedged,
+// which changes (improves) the delivery sequences of both FD scenarios.
+// The GM entries are untouched since their first recording — GM's own
+// rejoin machinery predates catch-up and must not be affected by it.
 var goldenPlanDigests = map[string][]uint64{
-	"partition-heal/FD":  {0xaa015e21eeba18c9, 0xc64042f350f8873b},
+	"partition-heal/FD":  {0x04be297fb3fb5acf, 0xf4447bcf121c3191},
 	"partition-heal/GM":  {0xefb9b221b3333887, 0x106d7618aebb358c},
-	"crash-recover/FD":   {0x4bdaca720e0a4f75, 0x3946f08e2b717af8},
+	"crash-recover/FD":   {0x62a6a645e2a7b754, 0xc1160e12abb12c3d},
 	"crash-recover/GM":   {0x5a6ab766452dd62d, 0x8d5ab070c873978b},
+	"long-outage/FD":     {0xd84aa5c3358a1d50, 0x9064232003ef3eb5},
+	"long-outage/GM":     {0x98d6538394389e39, 0x6377cca6da1207a7},
 	"precrash-vs-legacy": {0xeb2f8b6ae97a4a10, 0xa1b4b43c17445f23},
 }
 
@@ -82,6 +102,8 @@ func TestFaultPlanGoldenDigests(t *testing.T) {
 		{"partition-heal/GM", GM, partitionHealPlan()},
 		{"crash-recover/FD", FD, crashRecoverPlan()},
 		{"crash-recover/GM", GM, crashRecoverPlan()},
+		{"long-outage/FD", FD, longOutagePlan()},
+		{"long-outage/GM", GM, longOutagePlan()},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -153,6 +175,44 @@ func TestPartitionPlanRecoversThroughGM(t *testing.T) {
 	}
 	if gmRes.Quantiles.P99 < 100 {
 		t.Fatalf("GM P99 = %.1fms; the recovered messages should form a late tail", gmRes.Quantiles.P99)
+	}
+}
+
+// TestLongOutagePlanCatchUpTracedAndReplays runs the long-outage plan
+// under FD with a full trace: the catch-up exchange must be visible as
+// request/reply wire records, and the trace must replay bit for bit —
+// catch-up is part of the deterministic event stream like everything
+// else.
+func TestLongOutagePlanCatchUpTracedAndReplays(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	cfg := planBase(FD)
+	cfg.Plan = longOutagePlan()
+	cfg.Observers = []ObserverFactory{tr.Observer}
+	var r Runner
+	r.Steady(cfg)
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "CatchUpReq[") {
+		t.Fatal("trace records no catch-up requests; the recovered process never asked for its suffix")
+	}
+	if !strings.Contains(text, "CatchUpReply[") {
+		t.Fatal("trace records no catch-up replies")
+	}
+	results, err := Replay(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("replayed %d replications, want 2", len(results))
+	}
+	for _, res := range results {
+		if !res.Match {
+			t.Fatalf("replication (point %d, rep %d) diverged: recorded %#016x, replayed %#016x",
+				res.Point, res.Rep, res.Recorded, res.Replayed)
+		}
 	}
 }
 

@@ -28,10 +28,15 @@ func overloadPlan() *LoadPlan {
 // introduced; a change means rate rescaling, burst bracketing or mute
 // semantics retime events — a correctness bug, not a baseline to
 // re-record.
+//
+// The burst+partition/FD entry was re-recorded once, when decision-log
+// catch-up landed: the healed minority now requests the decision suffix
+// it missed instead of staying wedged. The pure-load overload entries
+// and every GM entry are untouched since their first recording.
 var goldenLoadDigests = map[string][]uint64{
 	"overload/FD":        {0x1d06062be6de9c5e, 0x0d75bcd71ae4e3fc},
 	"overload/GM":        {0x6f805984c72e6026, 0x88bca1b565bf354e},
-	"burst+partition/FD": {0xd1cd8eaf8981f0df, 0x6aa48af5a855904b},
+	"burst+partition/FD": {0x4513a5aa696b5a65, 0x2a5eac984a997750},
 	"burst+partition/GM": {0x28d8ab6cd1ae0f67, 0xd085c75237e2aa9d},
 }
 

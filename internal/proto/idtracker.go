@@ -57,5 +57,62 @@ func (t *IDTracker) Add(id MsgID) bool {
 // memory diagnostics in tests.
 func (t *IDTracker) SparseLen() int { return len(t.sparse) }
 
+// TrackerSnapshot is a copied, point-in-time view of an IDTracker,
+// shippable to another process: the full-snapshot fallback of the FD
+// catch-up protocol hands one over when the decision log no longer
+// covers a straggler's gap. Sparse is in canonical MsgID order so the
+// snapshot itself is deterministic.
+type TrackerSnapshot struct {
+	Water  map[PID]uint64
+	Sparse []MsgID
+}
+
+// Snapshot copies the tracker's current state. The copy shares nothing
+// with the tracker and never changes afterwards.
+func (t *IDTracker) Snapshot() *TrackerSnapshot {
+	s := &TrackerSnapshot{
+		Water:  make(map[PID]uint64, len(t.water)),
+		Sparse: make([]MsgID, 0, len(t.sparse)),
+	}
+	for p, w := range t.water {
+		s.Water[p] = w
+	}
+	for id := range t.sparse {
+		s.Sparse = append(s.Sparse, id)
+	}
+	SortMsgIDs(s.Sparse)
+	return s
+}
+
+// Merge folds a snapshot into the tracker: afterwards every ID the
+// snapshot covered reports Seen. Watermarks advance monotonically (a
+// merge never forgets local state) and sparse entries the new watermarks
+// cover are dropped.
+func (t *IDTracker) Merge(s *TrackerSnapshot) {
+	for p, w := range s.Water {
+		if w <= t.water[p] {
+			continue
+		}
+		t.water[p] = w
+		// Absorb sparse successors that have become contiguous.
+		for {
+			next := p.pair(t.water[p] + 1)
+			if _, ok := t.sparse[next]; !ok {
+				break
+			}
+			delete(t.sparse, next)
+			t.water[p]++
+		}
+	}
+	for id := range t.sparse {
+		if id.Seq <= t.water[id.Origin] {
+			delete(t.sparse, id)
+		}
+	}
+	for _, id := range s.Sparse {
+		t.Add(id)
+	}
+}
+
 // pair builds a MsgID; a tiny helper keeping call sites terse.
 func (p PID) pair(seq uint64) MsgID { return MsgID{Origin: p, Seq: seq} }

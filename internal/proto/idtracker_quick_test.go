@@ -73,6 +73,58 @@ func TestIDTrackerSparseBoundedUnderRandomOrder(t *testing.T) {
 	}
 }
 
+// TestTrackerSnapshotMergeIsUnion: after merging B's snapshot into A, A
+// sees exactly the union of both ID sets — every covered ID and nothing
+// more — and a second merge of the same snapshot changes nothing.
+func TestTrackerSnapshotMergeIsUnion(t *testing.T) {
+	type op struct {
+		Origin uint8
+		Seq    uint16
+		IntoB  bool
+	}
+	f := func(ops []op) bool {
+		a, b := NewIDTracker(), NewIDTracker()
+		refA := make(map[MsgID]bool)
+		refB := make(map[MsgID]bool)
+		for _, o := range ops {
+			id := MsgID{Origin: PID(o.Origin % 4), Seq: uint64(o.Seq%64) + 1}
+			if o.IntoB {
+				b.Add(id)
+				refB[id] = true
+			} else {
+				a.Add(id)
+				refA[id] = true
+			}
+		}
+		snap := b.Snapshot()
+		for merges := 0; merges < 2; merges++ { // second pass checks idempotence
+			a.Merge(snap)
+			for origin := PID(0); origin < 4; origin++ {
+				// Probe past 64 too: a merge must not invent IDs.
+				for seq := uint64(1); seq <= 70; seq++ {
+					id := MsgID{Origin: origin, Seq: seq}
+					if a.Seen(id) != (refA[id] || refB[id]) {
+						return false
+					}
+				}
+			}
+		}
+		// The donor is untouched by its snapshot being merged elsewhere.
+		for origin := PID(0); origin < 4; origin++ {
+			for seq := uint64(1); seq <= 70; seq++ {
+				id := MsgID{Origin: origin, Seq: seq}
+				if b.Seen(id) != refB[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSortMsgIDsMatchesTotalOrder: SortMsgIDs agrees with the Less
 // relation on random inputs, and Less is a strict total order.
 func TestSortMsgIDsMatchesTotalOrder(t *testing.T) {
