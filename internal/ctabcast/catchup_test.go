@@ -48,6 +48,37 @@ func TestLongOutageRecoveryDeliversSuffix(t *testing.T) {
 	c.checkAllDelivered(t)
 }
 
+// TestIdleSystemRecoveryUnwedges is the idle-wedge regression guard: a
+// process that recovers into a *totally quiet* system sees no consensus
+// traffic at all, so no lag evidence ever accumulates — neither the
+// passive window trigger nor the evidence-gated probe can fire. The
+// probe must not disarm forever on "no evidence": after a bounded number
+// of idle checks it has to ask a peer directly, because from the
+// straggler's seat "nothing to catch up on" and "everyone else is quiet"
+// are indistinguishable.
+func TestIdleSystemRecoveryUnwedges(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: 10 * time.Millisecond}})
+	c.sys.CrashAt(2, at(100))
+	// An outage spanning far more than InstanceWindow decisions, exactly
+	// like the long-outage scenario — but every broadcast has long
+	// drained before the recovery instant, and nothing follows it.
+	for i := 0; i < 150; i++ {
+		c.broadcastAt(proto.PID(i%2), at(float64(150+15*i)))
+	}
+	recoverAt := at(4000)
+	c.eng.Schedule(recoverAt, func() {
+		c.sys.Recover(2, nil)
+		// The harness arms the probe on recovery, as the experiment
+		// layer's Recover path does.
+		c.procs[2].Resume()
+	})
+	c.run(20 * time.Second)
+	c.checkTotalOrder(t)
+	// The recovered process must deliver the entire missed suffix even
+	// though no post-recovery traffic ever supplied lag evidence.
+	c.checkAllDelivered(t)
+}
+
 // TestCatchUpRetriesAfterResponderCrash exercises the retry path: the
 // first catch-up request goes to a peer that has just crashed, so the
 // exchange only completes because the retry timer rotates to a live
