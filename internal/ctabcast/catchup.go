@@ -51,6 +51,12 @@ const (
 	// catchUpBackoffCap bounds the retry backoff at this multiple of
 	// CatchUpRetry.
 	catchUpBackoffCap = 16
+	// maxIdleProbes is how many consecutive probe checks may observe a
+	// totally silent network before the probe stops waiting for evidence
+	// and asks a peer directly. From the probing process's seat, "no lag
+	// evidence" amid silence is indistinguishable from "everyone else is
+	// idle too" — only a direct question settles it.
+	maxIdleProbes = 2
 )
 
 // logEntry is one decided batch in the decision log. ids is the decision
@@ -185,21 +191,58 @@ func (p *Process) noteInstance(from proto.PID, k uint64) {
 // heals: after CatchUpDelay the process checks whether evidence of lag
 // has accumulated (a peer frontier above ours, or consensus messages
 // buffered for instances we cannot build yet) and starts catch-up if so.
-// With no evidence the probe disarms silently — a process that is
-// current, or a system so idle that no gap can be observed yet, sends
-// nothing. Stale or duplicate probes are harmless for the same reason.
+// With no evidence the probe's next move depends on what it heard in the
+// meantime. Any received traffic that produced no evidence means the
+// process is current, so the probe disarms silently — a process resumed
+// into a live, healthy system sends nothing. Total silence is different:
+// an idle system produces no evidence whether or not we are behind, so
+// the probe re-arms, and after maxIdleProbes consecutive silent checks
+// it sends one direct CatchUpReq anyway. The exchange self-terminates on
+// the first reply (a current process sees the responder's matching
+// frontier and stops), so probing a genuinely idle, current system costs
+// one round trip. A newer Resume supersedes any probe chain in flight.
 func (p *Process) Resume() {
-	p.rt.After(p.cfg.CatchUpDelay, func() { p.probeCatchUp() })
+	p.probeSeq++
+	p.probeRx = p.rxCount
+	p.probeIdle = 0
+	p.armProbe(p.probeSeq)
+}
+
+// armProbe schedules the next probe check of chain seq.
+func (p *Process) armProbe(seq uint64) {
+	p.rt.After(p.cfg.CatchUpDelay, func() { p.probeCatchUp(seq) })
 }
 
 // probeCatchUp is the Resume probe body.
-func (p *Process) probeCatchUp() {
-	if p.cuActive {
+func (p *Process) probeCatchUp(seq uint64) {
+	if p.cuActive || seq != p.probeSeq {
 		return
 	}
 	if p.maxSeen > p.nextDeliver || len(p.buffered) > 0 {
 		p.startCatchUp()
+		return
 	}
+	if p.rxCount != p.probeRx {
+		// Traffic arrived since the probe was armed and none of it was
+		// lag evidence: the process is current. Disarm silently.
+		return
+	}
+	if len(p.all) == 1 {
+		return // no peer to ask
+	}
+	p.probeIdle++
+	if p.probeIdle >= maxIdleProbes {
+		// The system has been silent for the whole probe window, twice
+		// over: stop waiting for evidence that silence can never produce
+		// and ask a peer directly. The exchange gets one evidence-free
+		// rotation through the peers, so a crashed first target does not
+		// kill it, and still terminates if every peer is down.
+		p.startCatchUp()
+		p.cuBlind = len(p.all) - 1
+		return
+	}
+	p.probeRx = p.rxCount
+	p.armProbe(seq)
 }
 
 // startCatchUp opens the catch-up exchange against the most advanced
@@ -210,6 +253,7 @@ func (p *Process) startCatchUp() {
 	}
 	p.cuActive = true
 	p.cuBackoff = p.cfg.CatchUpRetry
+	p.cuBlind = 0
 	p.cuTarget = p.maxSeenFrom
 	p.sendCatchUpReq()
 }
@@ -235,13 +279,18 @@ func (p *Process) sendCatchUpReq() {
 // onCatchUpRetry fires when a request went unanswered for a full backoff
 // period. Evidence is re-checked first: the gap may have closed through
 // ordinary operation (a late reply, or in-window decision forwarding).
+// A forced (evidence-free) exchange instead spends its bounded cuBlind
+// budget before giving up, so one crashed responder cannot strand it.
 func (p *Process) onCatchUpRetry(seq uint64) {
 	if !p.cuActive || seq != p.cuSeq {
 		return
 	}
 	if p.maxSeen <= p.nextDeliver && len(p.buffered) == 0 {
-		p.stopCatchUp()
-		return
+		if p.cuBlind == 0 {
+			p.stopCatchUp()
+			return
+		}
+		p.cuBlind--
 	}
 	p.cuTarget = proto.PID((int(p.cuTarget) + 1) % len(p.all))
 	p.sendCatchUpReq()

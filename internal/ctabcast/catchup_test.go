@@ -79,6 +79,37 @@ func TestIdleSystemRecoveryUnwedges(t *testing.T) {
 	c.checkAllDelivered(t)
 }
 
+// TestIdleProbeOnCurrentProcessIsBounded: a process that is fully
+// current when Resume fires in a quiet system still ends up asking a
+// peer (it cannot know it is current), but the exchange must terminate
+// on the first reply and send only a bounded handful of requests — no
+// periodic polling, no endless retries.
+func TestIdleProbeOnCurrentProcessIsBounded(t *testing.T) {
+	c := newCluster(clusterOpts{n: 3, qos: fd.QoS{TD: 10 * time.Millisecond}})
+	for i := 0; i < 20; i++ {
+		c.broadcastAt(proto.PID(i%3), at(float64(50+15*i)))
+	}
+	reqs := 0
+	c.sys.Net.SetTrace(func(ev netmodel.TraceEvent) {
+		if ev.Kind == netmodel.TraceSend {
+			if _, ok := ev.Payload.(*catchUpReq); ok {
+				reqs++
+			}
+		}
+	})
+	// Long after everything drained: Resume a process that missed nothing.
+	c.eng.Schedule(at(3000), func() { c.procs[1].Resume() })
+	c.run(20 * time.Second)
+	if reqs == 0 {
+		t.Fatal("idle probe never asked a peer: the idle wedge is back")
+	}
+	if reqs > 3 {
+		t.Fatalf("current process sent %d catch-up requests, want a bounded handful", reqs)
+	}
+	c.checkTotalOrder(t)
+	c.checkAllDelivered(t)
+}
+
 // TestCatchUpRetriesAfterResponderCrash exercises the retry path: the
 // first catch-up request goes to a peer that has just crashed, so the
 // exchange only completes because the retry timer rotates to a live

@@ -127,6 +127,11 @@ type Process struct {
 	cuTarget    proto.PID     // peer currently asked
 	cuBackoff   time.Duration // next retry delay
 	cuSeq       uint64        // strands stale retry timers
+	cuBlind     int           // evidence-free retries left (forced exchanges only)
+	rxCount     uint64        // messages received, ever: the probe's idleness signal
+	probeSeq    uint64        // strands superseded Resume probe chains
+	probeRx     uint64        // rxCount when the live probe chain was (re)armed
+	probeIdle   int           // consecutive probes that saw zero traffic
 
 	// Free lists and cached callbacks: the high-rate allocation sites of
 	// the hot path, each reused across instances and messages.
@@ -221,6 +226,7 @@ func (p *Process) ABroadcast(body any) proto.MsgID {
 
 // OnMessage implements proto.Handler.
 func (p *Process) OnMessage(from proto.PID, payload any) {
+	p.rxCount++
 	switch m := payload.(type) {
 	case *rbcast.Msg:
 		p.rb.OnMessage(*m)
