@@ -1,41 +1,56 @@
 // Package netmodel implements the contention-aware message transmission
 // model of the paper's Section 6.1 (after Urbán, Défago, Schiper, "Contention-
-// aware metrics for distributed algorithms", IC3N 2000).
+// aware metrics for distributed algorithms", IC3N 2000), generalised to
+// route over an explicit connectivity graph (internal/topo).
 //
 // Two kinds of resources exist, each serving messages in FIFO order:
 //
 //   - one CPU resource per process, representing the network controller and
 //     networking stack; every message occupies the sender's CPU for λ time
 //     units when sent and the receiver's CPU for λ time units when received;
-//   - a single network resource shared by all processes, representing an
-//     Ethernet-like transmission medium; every message occupies it for
-//     exactly one time unit (1 ms in all experiments, as in the paper).
+//   - one network resource per topology wire, representing an Ethernet-like
+//     transmission medium; every message hop occupies its wire for one slot
+//     (the wire's own, or the model default — 1 ms in all the paper's
+//     experiments).
 //
-// A message from pᵢ to pⱼ therefore uses CPUᵢ (λ), then the wire (1), then
-// CPUⱼ (λ), queueing before each stage if the resource is busy. A multicast
-// occupies the sender CPU and the wire once and then occupies every
-// destination CPU in parallel — the Ethernet broadcast assumption the
-// paper's message counts ("1 multicast and about 2n unicasts") rely on.
-// Delivery to the sender itself is local and free.
+// On the default FullMesh topology there is a single wire joining every
+// process pair and the model reduces exactly — bit-identically — to the
+// paper's: a message from pᵢ to pⱼ uses CPUᵢ (λ), then the wire (1), then
+// CPUⱼ (λ), queueing before each stage if the resource is busy, and a
+// multicast occupies the sender CPU and the wire once and then every
+// destination CPU in parallel (the Ethernet broadcast assumption the
+// paper's message counts rely on). Delivery to the sender itself is local
+// and free.
+//
+// On a segmented topology, messages travel hop by hop along precompiled
+// shortest paths: each relay pays receive-CPU λ, then send-CPU λ and a
+// wire slot per onward transmission. A multicast follows the origin's
+// spanning tree — one wire occupancy per tree segment reaches every
+// destination discovered over that segment, and relays forward before
+// handing their own copy up. Wires may add propagation delay (the hop
+// arrives after the slot while the wire is already free) and per-copy
+// loss; a lost relay copy loses the whole subtree behind it.
 //
 // Crashes follow the paper's software-crash semantics: when pᵢ crashes at
 // time t, no message passes between pᵢ and CPUᵢ after t — the process
-// neither sends nor receives — but messages already handed to CPUᵢ and its
-// queues are still transmitted.
+// neither sends nor receives, and on a multi-hop topology it stops
+// relaying — but messages already handed to CPUᵢ and its queues are still
+// transmitted.
 //
-// Beyond crashes the model supports dynamic environment faults, all
-// applied at the wire→destination handoff so the fault-free hot path pays
-// a single branch: partitions (SetPartition/ClearPartition — copies
-// crossing groups are discarded before the destination CPU) and per-link
-// faults (SetLink — probabilistic loss on an independent random stream,
-// and extra delay entering the destination CPU).
+// Beyond crashes the model supports dynamic environment faults, applied
+// at each wire→destination handoff so the fault-free hot path pays a
+// single branch: partitions (SetPartition/ClearPartition — copies whose
+// hop crosses groups are discarded before the destination CPU) and
+// per-link faults (SetLink — probabilistic loss on an independent random
+// stream, and extra delay entering the destination CPU).
 //
-// The three pipeline stages run on the engine's closure-free scheduling
-// form (sim.ScheduleMsg): each in-flight message hop is a pooled event
-// record carrying (stage, from, to, payload) and dispatching back into
+// The pipeline stages run on the engine's closure-free scheduling form
+// (sim.ScheduleMsg): each in-flight hop is a pooled event record carrying
+// (stage, origin·node, route, payload) and dispatching back into
 // HandleMsg, so simulating a message allocates nothing — no closures, no
-// per-multicast destination slice (those are precomputed per sender in
-// New), no per-hop event allocation once the engine's free list is warm.
+// per-multicast destination slice (fan-out reads the topology's compiled
+// tables), no per-hop event allocation once the engine's free list is
+// warm.
 package netmodel
 
 import (
@@ -43,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Config parameterises the transmission model.
@@ -53,13 +69,18 @@ type Config struct {
 	// receive (the λ parameter of the paper). λ = 1 ms reproduces every
 	// figure of the DSN paper; other values model other environments.
 	Lambda time.Duration
-	// Slot is the wire occupancy per message: the paper's time unit,
-	// 1 ms in all experiments.
+	// Slot is the default wire occupancy per message: the paper's time
+	// unit, 1 ms in all experiments. Wires with their own Slot override
+	// it.
 	Slot time.Duration
+	// Topology is the connectivity graph messages route over. Nil means
+	// topo.FullMesh(N) — the paper's single shared Ethernet, on which
+	// the model is bit-identical to its pre-topology form.
+	Topology *topo.Topology
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
-// evaluation: λ = 1 time unit, 1 time unit = 1 ms.
+// evaluation: λ = 1 time unit, 1 time unit = 1 ms, full mesh on one wire.
 func DefaultConfig(n int) Config {
 	return Config{N: n, Lambda: time.Millisecond, Slot: time.Millisecond}
 }
@@ -72,6 +93,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("netmodel: negative Lambda %v", c.Lambda)
 	case c.Slot < 0:
 		return fmt.Errorf("netmodel: negative Slot %v", c.Slot)
+	case c.Topology != nil && c.Topology.N != c.N:
+		return fmt.Errorf("netmodel: topology %q is for %d processes, config has N=%d", c.Topology.Name, c.Topology.N, c.N)
 	}
 	return nil
 }
@@ -87,7 +110,7 @@ type TraceKind int
 // Trace points, in lifecycle order.
 const (
 	TraceSend    TraceKind = iota + 1 // process hands message to its CPU
-	TraceWire                         // message occupies the network
+	TraceWire                         // message occupies a wire (From is the transmitting hop)
 	TraceDeliver                      // destination process receives it
 	TraceDrop                         // message discarded: destination crashed, partitioned away, or link loss
 )
@@ -113,7 +136,7 @@ type TraceEvent struct {
 	Kind    TraceKind
 	At      sim.Time
 	From    int
-	To      int // -1 for wire events of multicasts
+	To      int // -1 for wire events of multi-destination multicast hops
 	Payload any
 }
 
@@ -172,20 +195,23 @@ func PayloadName(p any) string {
 type Counters struct {
 	Unicasts   uint64 // point-to-point sends handed to a CPU
 	Multicasts uint64 // multicast sends handed to a CPU
-	WireSlots  uint64 // messages that occupied the network resource
+	WireSlots  uint64 // hops that occupied a network resource (one per relay hop)
 	Deliveries uint64 // completed deliveries (per destination)
 	Drops      uint64 // deliveries discarded because the target crashed
 	LocalSends uint64 // self-deliveries (no resource usage)
-	Lost       uint64 // copies discarded by a partition or a lossy link
+	Lost       uint64 // copies discarded by a partition, a lossy link or wire, or a dead relay's subtree
 }
 
-// Pipeline stage opcodes for the closure-free scheduler. The (a, b)
-// record fields hold (from, to); to is -1 on the multicast path, where
-// the fan-out destinations come from the precomputed dsts table.
+// Pipeline stage opcodes for the closure-free scheduler. The a record
+// field packs origin·N+node — the multicast origin (or unicast sender)
+// and the hop currently holding the copy. The b field is the route: the
+// final destination for unicasts, or -(group+1) naming a transmit group
+// of the origin's tree at the holding node; opRecvCPUDone and
+// opFaultArrive use b = -1 for multicast receive legs.
 const (
-	opSenderCPUDone = iota // sender CPU released the message: reserve the wire
-	opWireDone             // wire slot over: fan out into destination CPUs
-	opRecvCPUDone          // destination CPU done: deliver or drop
+	opSenderCPUDone = iota // sender CPU released the hop: reserve its wire
+	opWireDone             // wire slot (plus propagation) over: arrive at the far end(s)
+	opRecvCPUDone          // destination CPU done: deliver, forward, or drop
 	opLocalDeliver         // zero-cost self-delivery
 	opFaultArrive          // link extra delay elapsed: enter the destination CPU
 )
@@ -198,12 +224,16 @@ type Network struct {
 	trace   func(TraceEvent)
 
 	cpuBusy  []sim.Time // per-process CPU busy-until
-	wireBusy sim.Time   // shared network busy-until
+	wireBusy []sim.Time // per-wire busy-until
 	crashed  []bool
 
-	// dsts[p] lists every process except p in ascending order: the
-	// multicast fan-out set, computed once instead of per multicast.
-	dsts [][]int
+	// Routing tables and resolved per-wire parameters, compiled once
+	// from the topology.
+	rt        *topo.Routing
+	wireSlot  []time.Duration
+	wireDelay []time.Duration
+	wireLoss  []float64
+	lossy     bool // any wire with non-zero Loss
 
 	// Dynamic fault state, consulted at the wire→destination handoff only
 	// while faults is set, so the fault-free hot path pays one branch.
@@ -218,8 +248,8 @@ type Network struct {
 }
 
 // New creates a network. deliver must not be nil; it is invoked for every
-// completed message. New panics on an invalid configuration — the
-// configuration is code, not input.
+// completed message. New panics on an invalid configuration or topology —
+// the configuration is code, not input.
 func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *Network {
 	if err := cfg.validate(); err != nil {
 		panic(err)
@@ -227,23 +257,39 @@ func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *Network {
 	if deliver == nil {
 		panic("netmodel: nil deliver callback")
 	}
-	dsts := make([][]int, cfg.N)
-	for p := 0; p < cfg.N; p++ {
-		dsts[p] = make([]int, 0, cfg.N-1)
-		for q := 0; q < cfg.N; q++ {
-			if q != p {
-				dsts[p] = append(dsts[p], q)
-			}
+	t := cfg.Topology
+	if t == nil {
+		t = topo.FullMesh(cfg.N)
+		cfg.Topology = t
+	}
+	rt := t.Routing()
+	nw := &Network{
+		eng:       eng,
+		cfg:       cfg,
+		deliver:   deliver,
+		cpuBusy:   make([]sim.Time, cfg.N),
+		wireBusy:  make([]sim.Time, len(t.Wires)),
+		crashed:   make([]bool, cfg.N),
+		rt:        rt,
+		wireSlot:  make([]time.Duration, len(t.Wires)),
+		wireDelay: make([]time.Duration, len(t.Wires)),
+		wireLoss:  make([]float64, len(t.Wires)),
+	}
+	for i, w := range t.Wires {
+		nw.wireSlot[i] = w.Slot
+		if w.Slot == 0 {
+			nw.wireSlot[i] = cfg.Slot
+		}
+		nw.wireDelay[i] = w.Delay
+		nw.wireLoss[i] = w.Loss
+		if w.Loss > 0 {
+			nw.lossy = true
 		}
 	}
-	return &Network{
-		eng:     eng,
-		cfg:     cfg,
-		deliver: deliver,
-		cpuBusy: make([]sim.Time, cfg.N),
-		crashed: make([]bool, cfg.N),
-		dsts:    dsts,
+	if nw.lossy {
+		nw.faultRand = sim.NewRand(1)
 	}
+	return nw
 }
 
 // SetTrace installs an observer invoked at each message lifecycle point.
@@ -257,8 +303,11 @@ func (nw *Network) Counters() Counters { return nw.counters }
 // N returns the number of processes.
 func (nw *Network) N() int { return nw.cfg.N }
 
-// Config returns the model parameters.
+// Config returns the model parameters (with Topology resolved).
 func (nw *Network) Config() Config { return nw.cfg }
+
+// Topology returns the connectivity graph the network routes over.
+func (nw *Network) Topology() *topo.Topology { return nw.cfg.Topology }
 
 // Crashed reports whether process p has crashed.
 func (nw *Network) Crashed(p int) bool { return nw.crashed[p] }
@@ -272,21 +321,25 @@ func (nw *Network) Crash(p int) { nw.crashed[p] = true }
 // current instant. Recovering a live process is a no-op.
 func (nw *Network) Recover(p int) { nw.crashed[p] = false }
 
-// SetFaultRand installs the random stream that decides lossy-link drops.
-// Installing it up front keeps loss decisions on an independent stream, so
-// a fault-free simulation is bit-identical whether or not the stream was
-// installed. If a lossy link is configured without one, a fixed-seed
-// default is used.
+// SetFaultRand installs the random stream that decides lossy-link and
+// lossy-wire drops. Installing it up front keeps loss decisions on an
+// independent stream, so a fault-free simulation is bit-identical whether
+// or not the stream was installed. If a lossy link is configured without
+// one, a fixed-seed default is used (a topology with lossy wires installs
+// that default at construction).
 func (nw *Network) SetFaultRand(r *sim.Rand) { nw.faultRand = r }
 
 // SetPartition splits the processes into isolated groups as of the current
-// instant: a message copy whose source and destination are in different
-// groups is discarded at the wire→destination handoff (the frame is on the
-// medium but the partitioned NIC never receives it), costing the
-// destination CPU nothing. A process listed in no group is isolated on its
-// own. A partition replaces any previous one; ClearPartition heals it.
-// Self-delivery is never partitioned. SetPartition panics on out-of-range
-// or duplicated process indices — the configuration is code, not input.
+// instant: a message copy whose current hop crosses two groups is
+// discarded at the wire→destination handoff (the frame is on the medium
+// but the partitioned NIC never receives it), costing the destination CPU
+// nothing. On a multi-hop topology the check is per hop, so traffic whose
+// whole route stays inside one group is unaffected even when the endpoints
+// could also be reached across the cut. A process listed in no group is
+// isolated on its own. A partition replaces any previous one;
+// ClearPartition heals it. Self-delivery is never partitioned.
+// SetPartition panics on out-of-range or duplicated process indices — the
+// configuration is code, not input.
 func (nw *Network) SetPartition(groups [][]int) {
 	label := make([]int, nw.cfg.N)
 	for p := range label {
@@ -314,10 +367,11 @@ func (nw *Network) ClearPartition() {
 }
 
 // SetLink installs a fault on the directed link from → to: each message
-// copy on the link is independently lost with probability loss, and
-// surviving copies enter the destination CPU extraDelay late. Setting both
-// to zero clears the link's fault. A new SetLink replaces the link's
-// previous fault. It panics on invalid arguments.
+// copy hopping from → to is independently lost with probability loss, and
+// surviving copies enter the destination CPU extraDelay late. On a
+// multi-hop topology the link names one hop, not an end-to-end path.
+// Setting both to zero clears the link's fault. A new SetLink replaces the
+// link's previous fault. It panics on invalid arguments.
 func (nw *Network) SetLink(from, to int, loss float64, extraDelay time.Duration) {
 	switch {
 	case from < 0 || from >= nw.cfg.N || to < 0 || to >= nw.cfg.N:
@@ -353,8 +407,8 @@ func (nw *Network) SetLink(from, to int, loss float64, extraDelay time.Duration)
 	nw.faults = nw.group != nil || nw.activeLinks > 0
 }
 
-// reachable reports whether a copy from `from` may reach `to` under the
-// current partition.
+// reachable reports whether a hop from `from` to `to` passes the current
+// partition.
 func (nw *Network) reachable(from, to int) bool {
 	return nw.group == nil || nw.group[from] == nw.group[to]
 }
@@ -365,10 +419,14 @@ func (nw *Network) emit(kind TraceKind, at sim.Time, from, to int, payload any) 
 	}
 }
 
+// pack folds (origin, node) into one event record field.
+func (nw *Network) pack(origin, node int) int { return origin*nw.cfg.N + node }
+
 // Send transmits payload from process `from` to process `to` through the
-// full CPU→wire→CPU pipeline. Sending to self delivers locally at the
-// current instant with no resource usage. Sends from a crashed process are
-// ignored.
+// CPU→wire→CPU pipeline of every hop on the route. Sending to self
+// delivers locally at the current instant with no resource usage. Sends
+// from a crashed process are ignored; a send with no route to the
+// destination is counted and dropped at the sender's NIC.
 func (nw *Network) Send(from, to int, payload any) {
 	if nw.crashed[from] {
 		Discard(payload)
@@ -381,51 +439,66 @@ func (nw *Network) Send(from, to int, payload any) {
 	}
 	nw.counters.Unicasts++
 	nw.emit(TraceSend, nw.eng.Now(), from, to, payload)
-	nw.throughCPU(from, to, payload)
+	if nw.rt.Next[from][to] < 0 {
+		nw.lose(from, from, to, to, payload)
+		return
+	}
+	nw.throughCPU(from, from, to, payload)
 }
 
-// Multicast transmits payload from process `from` to every process,
-// including `from` itself. The sender CPU and the wire are occupied once;
-// every remote destination CPU is occupied in parallel. The local copy is
-// delivered immediately at no cost. Multicasts from a crashed process are
-// ignored.
+// Multicast transmits payload from process `from` to every process
+// reachable from it, including `from` itself. The copy fans out along
+// `from`'s spanning tree: each tree segment is one wire occupancy
+// reaching all destinations discovered over it, and every destination CPU
+// on a segment is occupied in parallel (on the default full mesh: sender
+// CPU and the single wire once, then all remote CPUs — the paper's
+// model). The local copy is delivered immediately at no cost. Multicasts
+// from a crashed process are ignored.
 func (nw *Network) Multicast(from int, payload any) {
 	if nw.crashed[from] {
 		Discard(payload)
 		return
 	}
-	// One reference for the local copy plus one per remote destination:
-	// each copy reaches exactly one terminal point.
-	retain(payload, 1+len(nw.dsts[from]))
+	// One reference for the local copy plus one per reachable remote
+	// destination: each copy reaches exactly one terminal point.
+	retain(payload, 1+int(nw.rt.Reach[from]))
 	nw.counters.Multicasts++
 	nw.emit(TraceSend, nw.eng.Now(), from, -1, payload)
 	nw.localDeliver(from, payload)
-	if nw.cfg.N == 1 {
-		return
-	}
-	nw.throughCPU(from, -1, payload)
+	nw.forward(from, from, payload)
 }
 
-// HandleMsg advances one in-flight message to its next pipeline stage. It
-// implements sim.MsgHandler; a and b carry (from, to).
+// forward starts the transmit stage for every tree segment of origin's
+// multicast at the holding node — one send-CPU occupancy per segment.
+func (nw *Network) forward(origin, node int, payload any) {
+	for gi := range nw.rt.Tree[origin][node] {
+		nw.throughCPU(origin, node, -(gi + 1), payload)
+	}
+}
+
+// HandleMsg advances one in-flight hop to its next pipeline stage. It
+// implements sim.MsgHandler; a packs origin·N+node, b is the route code.
 func (nw *Network) HandleMsg(op uint8, a, b int, payload any) {
+	origin, node := a/nw.cfg.N, a%nw.cfg.N
 	switch op {
 	case opSenderCPUDone:
-		nw.throughWire(a, b, payload)
+		nw.throughWire(origin, node, b, payload)
 	case opWireDone:
 		if b >= 0 {
-			nw.arrive(b, a, payload)
+			next := int(nw.rt.Next[node][b])
+			nw.arrive(origin, node, next, int(nw.rt.HopWire[node][b]), b, payload)
 		} else {
-			for _, dst := range nw.dsts[a] {
-				nw.arrive(dst, a, payload)
+			g := &nw.rt.Tree[origin][node][-b-1]
+			for _, dst := range g.Dsts {
+				nw.arrive(origin, node, int(dst), int(g.Wire), -1, payload)
 			}
 		}
 	case opRecvCPUDone:
-		nw.deliverAt(b, a, payload)
+		nw.received(origin, node, b, payload)
 	case opLocalDeliver:
-		nw.deliverLocal(a, payload)
+		nw.deliverLocal(node, payload)
 	case opFaultArrive:
-		nw.intoCPU(b, a, payload)
+		nw.intoCPU(origin, node, b, payload)
 	default:
 		panic(fmt.Sprintf("netmodel: unknown pipeline op %d", op))
 	}
@@ -436,7 +509,7 @@ func (nw *Network) HandleMsg(op uint8, a, b int, payload any) {
 // reenters the caller.
 func (nw *Network) localDeliver(p int, payload any) {
 	nw.counters.LocalSends++
-	nw.eng.AfterMsg(0, nw, opLocalDeliver, p, p, payload)
+	nw.eng.AfterMsg(0, nw, opLocalDeliver, nw.pack(p, p), p, payload)
 }
 
 // deliverLocal completes a self-delivery, honouring a crash that happened
@@ -454,97 +527,149 @@ func (nw *Network) deliverLocal(p int, payload any) {
 	release(payload)
 }
 
-// throughCPU occupies the sender's CPU for λ and then hands the message to
-// the wire stage. The CPU is FIFO: occupancy accumulates on a busy-until
-// horizon. to is -1 for multicasts.
-func (nw *Network) throughCPU(from, to int, payload any) {
+// throughCPU occupies node's CPU for λ and then hands the hop to the wire
+// stage. The CPU is FIFO: occupancy accumulates on a busy-until horizon.
+func (nw *Network) throughCPU(origin, node, b int, payload any) {
 	start := nw.eng.Now()
-	if nw.cpuBusy[from] > start {
-		start = nw.cpuBusy[from]
+	if nw.cpuBusy[node] > start {
+		start = nw.cpuBusy[node]
 	}
 	done := start.Add(nw.cfg.Lambda)
-	nw.cpuBusy[from] = done
-	nw.eng.ScheduleMsg(done, nw, opSenderCPUDone, from, to, payload)
+	nw.cpuBusy[node] = done
+	nw.eng.ScheduleMsg(done, nw, opSenderCPUDone, nw.pack(origin, node), b, payload)
 }
 
-// throughWire occupies the shared network resource for one slot, then fans
-// the message out to every destination CPU. The wire is reserved at the
-// moment the message leaves the sender CPU, which preserves the FIFO
-// arrival order at the medium. to is -1 for multicasts.
-func (nw *Network) throughWire(from, to int, payload any) {
+// throughWire occupies the hop's wire for its slot, then fans the hop out
+// to the far end(s). The wire is reserved at the moment the hop leaves
+// the sending CPU, which preserves the FIFO arrival order at the medium;
+// the wire's propagation delay postpones arrival without extending the
+// occupancy.
+func (nw *Network) throughWire(origin, node, b int, payload any) {
+	var wire int32
+	traceTo := b
+	if b >= 0 {
+		wire = nw.rt.HopWire[node][b]
+	} else {
+		g := &nw.rt.Tree[origin][node][-b-1]
+		wire = g.Wire
+		if len(g.Dsts) == 1 {
+			// A segment with a single destination traces the concrete
+			// destination, as every one-destination wire hop does.
+			traceTo = int(g.Dsts[0])
+		} else {
+			traceTo = -1
+		}
+	}
 	start := nw.eng.Now()
-	if nw.wireBusy > start {
-		start = nw.wireBusy
+	if nw.wireBusy[wire] > start {
+		start = nw.wireBusy[wire]
 	}
-	done := start.Add(nw.cfg.Slot)
-	nw.wireBusy = done
+	done := start.Add(nw.wireSlot[wire])
+	nw.wireBusy[wire] = done
 	nw.counters.WireSlots++
-	traceTo := to
-	if to < 0 && len(nw.dsts[from]) == 1 {
-		// A multicast with a single remote destination (N = 2) traces the
-		// concrete destination, as every one-destination wire hop does.
-		traceTo = nw.dsts[from][0]
-	}
-	nw.emit(TraceWire, start, from, traceTo, payload)
-	nw.eng.ScheduleMsg(done, nw, opWireDone, from, to, payload)
+	nw.emit(TraceWire, start, node, traceTo, payload)
+	nw.eng.ScheduleMsg(done.Add(nw.wireDelay[wire]), nw, opWireDone, nw.pack(origin, node), b, payload)
 }
 
-// arrive is the wire→destination handoff, where partitions and link
-// faults act: a copy addressed across a partition or lost on a lossy link
-// is discarded before it occupies the destination CPU, and a link's extra
-// delay postpones the CPU entry. Fault-free networks skip straight to
-// intoCPU on one branch. Destinations are visited in fixed order, so the
-// loss stream's draws are deterministic.
-func (nw *Network) arrive(dst, from int, payload any) {
+// arrive is the wire→destination handoff of one hop, where partitions,
+// link faults and wire loss act: a copy whose hop crosses a partition or
+// is lost on a lossy link or wire is discarded before it occupies the
+// destination CPU, and a link's extra delay postpones the CPU entry.
+// Fault-free perfect-wire networks skip straight to intoCPU. Destinations
+// of a segment are visited in fixed ascending order, so the loss stream's
+// draws are deterministic.
+func (nw *Network) arrive(origin, node, dst, wire, b int, payload any) {
 	if nw.faults {
-		if !nw.reachable(from, dst) {
-			nw.lose(from, dst, payload)
+		if !nw.reachable(node, dst) {
+			nw.lose(origin, node, dst, b, payload)
 			return
 		}
 		if nw.linkLoss != nil {
-			if loss := nw.linkLoss[from][dst]; loss > 0 && nw.faultRand.Float64() < loss {
-				nw.lose(from, dst, payload)
-				return
-			}
-			if d := nw.linkDelay[from][dst]; d > 0 {
-				nw.eng.AfterMsg(d, nw, opFaultArrive, from, dst, payload)
+			if loss := nw.linkLoss[node][dst]; loss > 0 && nw.faultRand.Float64() < loss {
+				nw.lose(origin, node, dst, b, payload)
 				return
 			}
 		}
 	}
-	nw.intoCPU(dst, from, payload)
+	if wl := nw.wireLoss[wire]; wl > 0 && nw.faultRand.Float64() < wl {
+		nw.lose(origin, node, dst, b, payload)
+		return
+	}
+	if nw.faults && nw.linkDelay != nil {
+		if d := nw.linkDelay[node][dst]; d > 0 {
+			nw.eng.AfterMsg(d, nw, opFaultArrive, nw.pack(origin, dst), b, payload)
+			return
+		}
+	}
+	nw.intoCPU(origin, dst, b, payload)
 }
 
-// lose discards a copy to a fault (partition or link loss).
-func (nw *Network) lose(from, dst int, payload any) {
-	nw.counters.Lost++
-	nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
-	release(payload)
+// lose discards a copy to a fault (partition, link or wire loss, or a
+// route that does not exist). For a multicast hop (b < 0) the whole
+// subtree behind dst dies with it: every copy it would have fanned into
+// is released and counted lost, under one drop trace.
+func (nw *Network) lose(origin, node, dst, b int, payload any) {
+	copies := 1
+	if b < 0 {
+		copies = int(nw.rt.Sub[origin][dst])
+	}
+	nw.emit(TraceDrop, nw.eng.Now(), node, dst, payload)
+	nw.counters.Lost += uint64(copies)
+	for i := 0; i < copies; i++ {
+		release(payload)
+	}
 }
 
-// intoCPU occupies the destination CPU for λ and hands the message to the
-// process.
-func (nw *Network) intoCPU(dst, from int, payload any) {
+// intoCPU occupies the destination CPU for λ and hands the hop to the
+// receive stage.
+func (nw *Network) intoCPU(origin, dst, b int, payload any) {
 	start := nw.eng.Now()
 	if nw.cpuBusy[dst] > start {
 		start = nw.cpuBusy[dst]
 	}
 	done := start.Add(nw.cfg.Lambda)
 	nw.cpuBusy[dst] = done
-	nw.eng.ScheduleMsg(done, nw, opRecvCPUDone, from, dst, payload)
+	nw.eng.ScheduleMsg(done, nw, opRecvCPUDone, nw.pack(origin, dst), b, payload)
 }
 
-// deliverAt completes a remote delivery, unless the destination crashed
-// while the message was in flight.
-func (nw *Network) deliverAt(dst, from int, payload any) {
-	if nw.crashed[dst] {
+// received completes a hop's receive stage at node: final deliveries go
+// up to the process, relay hops forward — unless the node crashed while
+// the hop was in flight, which on a multicast kills the whole subtree.
+func (nw *Network) received(origin, node, b int, payload any) {
+	if b >= 0 && node != b {
+		// Unicast relay: forward toward b, unless this relay is dead.
+		if nw.crashed[node] {
+			nw.counters.Drops++
+			nw.emit(TraceDrop, nw.eng.Now(), origin, node, payload)
+			release(payload)
+			return
+		}
+		nw.throughCPU(origin, node, b, payload)
+		return
+	}
+	if nw.crashed[node] {
 		nw.counters.Drops++
-		nw.emit(TraceDrop, nw.eng.Now(), from, dst, payload)
+		nw.emit(TraceDrop, nw.eng.Now(), origin, node, payload)
+		if b < 0 {
+			// The dead node's copy is a crash drop; the subtree behind it
+			// is lost to the environment.
+			if sub := int(nw.rt.Sub[origin][node]); sub > 1 {
+				nw.counters.Lost += uint64(sub - 1)
+				for i := 1; i < sub; i++ {
+					release(payload)
+				}
+			}
+		}
 		release(payload)
 		return
 	}
+	if b < 0 {
+		// Relay before delivering: the NIC forwards the multicast down
+		// the tree, then the local copy goes up to the process.
+		nw.forward(origin, node, payload)
+	}
 	nw.counters.Deliveries++
-	nw.emit(TraceDeliver, nw.eng.Now(), from, dst, payload)
-	nw.deliver(dst, from, payload)
+	nw.emit(TraceDeliver, nw.eng.Now(), origin, node, payload)
+	nw.deliver(node, origin, payload)
 	release(payload)
 }
