@@ -218,6 +218,49 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTopologyNScale measures the simulator's cost of a large-N
+// point on each topology generator — the -fig nscale workload at n=256.
+// ns/op is what topology routing costs the kernel (graph-relayed hops
+// multiply scheduler events); latency_ms is the virtual-time result, the
+// dissemination cost of the shape itself.
+func BenchmarkTopologyNScale(b *testing.B) {
+	const n = 256
+	shapes := []struct {
+		name  string
+		build func(n int) *Topology
+	}{
+		{"fullmesh", FullMesh},
+		{"clique", Clique},
+		{"ring", Ring},
+		{"geo", func(n int) *Topology {
+			return Geo(GeoConfig{Sites: 4, PerSite: n / 4, WAN: Wire{Delay: 5 * time.Millisecond}})
+		}},
+	}
+	for _, shape := range shapes {
+		b.Run(fmt.Sprintf("%s/n=%d", shape.name, n), func(b *testing.B) {
+			cfg := Config{
+				Algorithm:    FD,
+				N:            n,
+				Throughput:   3,
+				Topology:     shape.build(n),
+				Warmup:       time.Second,
+				Measure:      3 * time.Second,
+				Drain:        60 * time.Second,
+				Replications: 1,
+			}
+			var last Result
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				last = RunSteady(cfg)
+			}
+			if last.Latency.N > 0 {
+				b.ReportMetric(last.Latency.Mean, "latency_ms")
+			}
+			b.ReportMetric(float64(last.Messages), "msgs")
+		})
+	}
+}
+
 // BenchmarkCollectorModes measures the distribution carrier the
 // experiments aggregate into: exact mode retains every observation,
 // sketch mode (Config.DistSketch) folds them into bounded log buckets.

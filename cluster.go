@@ -97,6 +97,10 @@ type ClusterConfig struct {
 	// model with a concrete heartbeat detector whose messages share the
 	// contended network (see internal/hbfd). QoS should then be zero.
 	Heartbeat *HeartbeatConfig
+	// Topology is the connectivity graph the network routes over: nil is
+	// FullMesh(N), the paper's shared Ethernet. The topology's N must
+	// equal the cluster's N.
+	Topology *Topology
 }
 
 // HeartbeatConfig tunes the concrete heartbeat failure detector: the
@@ -150,6 +154,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if err := cfg.Plan.Validate(cfg.N); err != nil {
 		panic(err)
 	}
+	if cfg.Topology != nil && cfg.Topology.N != cfg.N {
+		panic(fmt.Sprintf("repro: topology %q is for %d processes, cluster has N=%d",
+			cfg.Topology.Name, cfg.Topology.N, cfg.N))
+	}
 	if err := cfg.Load.Validate(cfg.N); err != nil {
 		panic(err)
 	}
@@ -200,6 +208,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Algorithm:  cfg.Algorithm,
 		N:          cfg.N,
 		Lambda:     cfg.Lambda,
+		Topology:   cfg.Topology,
 		QoS:        cfg.QoS,
 		Detector:   cfg.Heartbeat,
 		Renumber:   true,

@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, partition, churn, overload, burst, smoke, ablations or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, partition, churn, overload, burst, nscale, smoke, ablations or all")
 	quickFlag   = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
 	seedFlag    = flag.Uint64("seed", 1, "base random seed")
 	repsFlag    = flag.Int("reps", 0, "replications per point (0 = scenario default)")
@@ -95,6 +95,8 @@ func main() {
 		figOverload()
 	case "burst":
 		figBurst()
+	case "nscale":
+		figNScale()
 	case "smoke":
 		figSmoke()
 	case "ablations":

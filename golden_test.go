@@ -28,6 +28,10 @@ var goldenDigests = map[string]uint64{
 	"GM/n=5/partition-heal":      0x566979f693c552b8,
 	"FD/n=3/churn-recover":       0x38d9f98d7d141577,
 	"FD/n=3/long-outage":         0x8c5efb84de1e0fd1,
+	// Topology-era scenarios: recorded when internal/topo landed, pinning
+	// graph-routed wire traces (relay hops, per-wire occupancy, WAN cuts).
+	"FD/n=8/ring":                   0x3fac255812e08916,
+	"GM/n=9/geo-wan-partition-heal": 0x17e9eb344144517a,
 }
 
 // goldenScenario drives one fully scripted cluster and folds every
@@ -176,6 +180,41 @@ func goldenScenarios() []goldenScenario {
 				}
 			},
 			run: 8 * time.Second,
+		},
+		{
+			// Ring topology: every multicast propagates hop by hop both
+			// ways around, every far unicast relays along the shorter arc.
+			// Pins the topology-routed wire trace (relay hops, per-wire
+			// occupancy) bit for bit.
+			name: "FD/n=8/ring",
+			cfg: ClusterConfig{
+				Algorithm: FD, N: 8, Seed: 53, QoS: Detectors(10, 0, 0),
+				Topology: Ring(8),
+			},
+			drive: script(8, 30),
+			run:   3 * time.Second,
+		},
+		{
+			// Geo topology under a WAN cut: three 3-process sites joined
+			// by 5ms WAN links; site 2 is cut along the WAN mid-run and
+			// healed. GM excludes the site and welcomes it back via state
+			// transfer, all over gateway-relayed routes.
+			name: "GM/n=9/geo-wan-partition-heal",
+			cfg: func() ClusterConfig {
+				geo := Geo(GeoConfig{
+					Sites: 3, PerSite: 3,
+					WAN: Wire{Delay: 5 * time.Millisecond},
+				})
+				return ClusterConfig{
+					Algorithm: GM, N: 9, Seed: 61, QoS: Detectors(10, 0, 0),
+					Topology: geo,
+					Plan: NewFaultPlan().
+						PartitionSites(150*time.Millisecond, geo, 2).
+						Heal(400 * time.Millisecond),
+				}
+			}(),
+			drive: script(9, 40),
+			run:   3 * time.Second,
 		},
 		{
 			// Crash-recover-crash churn of the coordinator through the

@@ -12,6 +12,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/seqabcast"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // CoreConfig parameterises the shared cluster builder. Both the
@@ -32,6 +33,9 @@ type CoreConfig struct {
 	// Lambda is the network model's CPU/wire cost ratio (already
 	// defaulted; 1 reproduces the paper).
 	Lambda float64
+	// Topology is the connectivity graph to route over; nil selects the
+	// paper's full mesh on one shared wire.
+	Topology *topo.Topology
 	// QoS parameterises the modelled failure detectors. The experiment
 	// harness silences it when a concrete Detector is configured; the
 	// interactive facade passes it through as given. NewCore applies
@@ -98,9 +102,10 @@ func NewCore(cfg CoreConfig) *Core {
 	}
 	eng := sim.New()
 	netCfg := netmodel.Config{
-		N:      cfg.N,
-		Lambda: sim.Millis(cfg.Lambda),
-		Slot:   time.Millisecond,
+		N:        cfg.N,
+		Lambda:   sim.Millis(cfg.Lambda),
+		Slot:     time.Millisecond,
+		Topology: cfg.Topology,
 	}
 	sys := proto.NewSystem(eng, netCfg, cfg.QoS, sim.NewRand(cfg.Seed))
 	c := &Core{

@@ -30,6 +30,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // Algorithm selects which atomic broadcast runs.
@@ -73,6 +74,16 @@ type Config struct {
 	// Lambda is the network model's CPU/wire cost ratio; zero selects
 	// λ = 1, the value of every figure in the DSN paper.
 	Lambda float64
+	// Topology is the connectivity graph the network routes over: nil
+	// selects the paper's model, a full mesh on one shared wire
+	// (topo.FullMesh(N)), bit-identical to the pre-topology stack. Any
+	// other graph — ring, clique, star, a geo-replicated layout of
+	// datacenter cliques joined by WAN links, or a hand-built Topology —
+	// changes the routes, the contention domains and the per-wire
+	// delay/loss while every other axis (plans, loads, detectors, ...)
+	// composes unchanged. The topology's N must equal Config.N. Trace
+	// headers embed it, so topology runs replay.
+	Topology *topo.Topology
 	// QoS parameterises the failure detectors (§6.2). Ignored when
 	// Detector selects the concrete heartbeat implementation.
 	QoS fd.QoS
@@ -198,6 +209,13 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: negative throughput")
 	case c.DistSketch < 0 || c.DistSketch >= 1:
 		return fmt.Errorf("experiment: DistSketch = %v, want 0 (exact) or a relative error in (0, 1)", c.DistSketch)
+	case c.Topology != nil && c.Topology.N != c.N:
+		return fmt.Errorf("experiment: topology %q is for %d processes, config has N=%d", c.Topology.Name, c.Topology.N, c.N)
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.Plan.validate(c.N); err != nil {
 		return err
@@ -355,6 +373,7 @@ func newCluster(cfg Config, seed uint64) *cluster {
 		Algorithm:  cfg.Algorithm,
 		N:          cfg.N,
 		Lambda:     cfg.Lambda,
+		Topology:   cfg.Topology,
 		QoS:        qos,
 		Detector:   cfg.Detector,
 		Renumber:   !cfg.DisableRenumber,

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // FaultPlan is a deterministic, virtual-time-ordered timeline of typed
@@ -214,6 +215,23 @@ func (p *FaultPlan) Partition(at time.Duration, groups ...[]proto.PID) *FaultPla
 func (p *FaultPlan) Heal(at time.Duration) *FaultPlan {
 	p.Events = append(p.Events, Heal{At: at})
 	return p
+}
+
+// PartitionSites appends a Partition event along the topology's WAN cut:
+// the listed sites of a Geo (or any grouped) topology on one side,
+// everyone else on the other — the "datacenter falls off the WAN" fault
+// as a first-class constructor. It panics if the topology records no
+// site groups, exactly like Topology.SiteCut.
+func (p *FaultPlan) PartitionSites(at time.Duration, t *topo.Topology, sites ...int) *FaultPlan {
+	cut := t.SiteCut(sites...)
+	groups := make([][]proto.PID, len(cut))
+	for i, g := range cut {
+		groups[i] = make([]proto.PID, len(g))
+		for k, pid := range g {
+			groups[i][k] = proto.PID(pid)
+		}
+	}
+	return p.Partition(at, groups...)
 }
 
 // Link appends a LinkFault event.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // Runner executes experiments, fanning independent replications out over
@@ -197,8 +198,8 @@ func (r *Runner) WorstCaseTransient(cfg TransientConfig, sweepCrash bool) Transi
 }
 
 // Sweep describes a grid of steady-state experiment points over
-// Algorithm × N × Throughput × QoS × Lambda × Crashed × Detector × Plan.
-// Base
+// Algorithm × N × Throughput × QoS × Lambda × Crashed × Detector × Plan
+// × Load × Topology. Base
 // supplies every other field; a nil axis inherits the Base value, so a
 // Sweep with all axes nil is the single point Base. Observers attached
 // to Base see every point of the grid, keyed by its canonical index.
@@ -238,11 +239,19 @@ type Sweep struct {
 	// expresses "the same burst under the same partition for both
 	// algorithms at every throughput" — scenarios as data.
 	Loads []*LoadPlan
+	// Topologies sweeps the connectivity graph: each entry is one
+	// Config.Topology — a generated or hand-built topo.Topology, or nil
+	// for the paper's full mesh. Crossed with Plans and Loads, "a WAN
+	// partition under an overload burst on a geo topology" is a single
+	// grid point. Entries must match the point's N, so a grid sweeping
+	// both Ns and Topologies should derive one from the other (build the
+	// grid in two Sweeps, or fix N and vary only the graph).
+	Topologies []*topo.Topology
 }
 
 // Points expands the grid in canonical order: Algorithm outermost, then
 // N, then Throughput, then QoS, then Lambda, then CrashSet, then
-// Detector, then Plan, then Load innermost.
+// Detector, then Plan, then Load, then Topology innermost.
 func (s Sweep) Points() []Config {
 	algs := s.Algorithms
 	if len(algs) == 0 {
@@ -280,7 +289,11 @@ func (s Sweep) Points() []Config {
 	if len(loads) == 0 {
 		loads = []*LoadPlan{s.Base.Load}
 	}
-	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets)*len(plans)*len(loads))
+	topos := s.Topologies
+	if len(topos) == 0 {
+		topos = []*topo.Topology{s.Base.Topology}
+	}
+	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets)*len(plans)*len(loads)*len(topos))
 	for _, a := range algs {
 		for _, n := range ns {
 			for _, t := range thrs {
@@ -290,11 +303,13 @@ func (s Sweep) Points() []Config {
 							for _, det := range dets {
 								for _, plan := range plans {
 									for _, load := range loads {
-										cfg := s.Base
-										cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
-										cfg.Lambda, cfg.Crashed, cfg.Detector, cfg.Plan = l, cr, det, plan
-										cfg.Load = load
-										out = append(out, cfg)
+										for _, tp := range topos {
+											cfg := s.Base
+											cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
+											cfg.Lambda, cfg.Crashed, cfg.Detector, cfg.Plan = l, cr, det, plan
+											cfg.Load, cfg.Topology = load, tp
+											out = append(out, cfg)
+										}
 									}
 								}
 							}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Trace is a cross-cutting observer that streams every observed
@@ -244,6 +245,9 @@ type traceHeader struct {
 	HbTimeout       int64   `json:"hbTimeout,omitempty"`
 	Crash           int     `json:"crash,omitempty"`
 	Sender          int     `json:"sender,omitempty"`
+	// Topo is the configuration's topology, as a generator call or a raw
+	// graph dump, so topology replications replay from the header alone.
+	Topo *topo.Spec `json:"topo,omitempty"`
 	// Plan is the configuration's fault plan, flattened one event per
 	// entry, so planned replications replay from the header alone.
 	Plan []planEventJSON `json:"plan,omitempty"`
@@ -458,6 +462,10 @@ func headerFromConfig(cfg Config, point, rep int) traceHeader {
 			h.HbTimeout = 3 * h.HbInterval
 		}
 	}
+	if cfg.Topology != nil {
+		spec := cfg.Topology.Spec()
+		h.Topo = &spec
+	}
 	h.Plan = planToJSON(cfg.Plan)
 	h.Load = loadToJSON(cfg.Load)
 	if ti := cfg.transient; ti != nil {
@@ -494,6 +502,13 @@ func configFromHeader(h traceHeader) (Config, error) {
 			Interval: time.Duration(h.HbInterval),
 			Timeout:  time.Duration(h.HbTimeout),
 		}
+	}
+	if h.Topo != nil {
+		t, err := topo.FromSpec(*h.Topo)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Topology = t
 	}
 	plan, err := planFromJSON(h.Plan)
 	if err != nil {

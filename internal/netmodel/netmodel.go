@@ -259,7 +259,7 @@ func New(eng *sim.Engine, cfg Config, deliver DeliverFunc) *Network {
 	}
 	t := cfg.Topology
 	if t == nil {
-		t = topo.FullMesh(cfg.N)
+		t = topo.SharedFullMesh(cfg.N)
 		cfg.Topology = t
 	}
 	rt := t.Routing()

@@ -1,0 +1,21 @@
+package topo
+
+import "sync"
+
+// meshCache shares routing-compiled full meshes across simulations: the
+// default topology is rebuilt for every replication of every experiment,
+// and a FullMesh plus its routing tables is identical for a given n.
+// Topologies are immutable once compiled, so sharing is safe.
+var meshCache sync.Map // int -> *Topology
+
+// SharedFullMesh returns a cached, routing-compiled FullMesh(n). Callers
+// must treat the result as read-only — it is shared process-wide.
+func SharedFullMesh(n int) *Topology {
+	if v, ok := meshCache.Load(n); ok {
+		return v.(*Topology)
+	}
+	t := FullMesh(n)
+	t.Routing()
+	v, _ := meshCache.LoadOrStore(n, t)
+	return v.(*Topology)
+}

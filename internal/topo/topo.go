@@ -36,15 +36,15 @@ type Wire struct {
 	// Slot is the wire occupancy per message hop — the bandwidth knob.
 	// Zero inherits the transmission model's default slot (the paper's
 	// 1 ms time unit).
-	Slot time.Duration
+	Slot time.Duration `json:"slot,omitempty"`
 	// Delay is the propagation delay of the wire: a hop arrives Delay
 	// after its slot ends, while the wire itself is already free for the
 	// next message. Zero means arrival at slot end, the paper's model.
-	Delay time.Duration
+	Delay time.Duration `json:"delay,omitempty"`
 	// Loss is the probability that a copy crossing the wire is lost at
 	// the far end, drawn independently per copy on the network's fault
 	// stream. Zero means a perfect wire.
-	Loss float64
+	Loss float64 `json:"loss,omitempty"`
 }
 
 // Edge is a directed connection from one process to another riding a
@@ -75,6 +75,8 @@ type Topology struct {
 
 	once    sync.Once
 	routing *Routing
+	// gen remembers the generator call for compact Spec serialisation.
+	gen *genInfo
 }
 
 // Validate checks the graph for structural errors: out-of-range or
@@ -127,7 +129,8 @@ func (t *Topology) Validate() error {
 // time. It is the model every pre-topology experiment ran on, and the
 // network's behaviour on it is bit-identical to that era.
 func FullMesh(n int) *Topology {
-	t := &Topology{Name: fmt.Sprintf("fullmesh-%d", n), N: n, Wires: []Wire{{}}}
+	t := &Topology{Name: fmt.Sprintf("fullmesh-%d", n), N: n, Wires: []Wire{{}},
+		gen: &genInfo{kind: "fullmesh"}}
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u != v {
@@ -142,7 +145,7 @@ func FullMesh(n int) *Topology {
 // spoke wire. Traffic between two spokes is relayed through the hub,
 // whose CPU becomes the bottleneck — the centralised-sequencer shape.
 func Star(n int) *Topology {
-	t := &Topology{Name: fmt.Sprintf("star-%d", n), N: n}
+	t := &Topology{Name: fmt.Sprintf("star-%d", n), N: n, gen: &genInfo{kind: "star"}}
 	for i := 1; i < n; i++ {
 		w := len(t.Wires)
 		t.Wires = append(t.Wires, Wire{})
@@ -161,7 +164,7 @@ func Star(n int) *Topology {
 // around the ring, so latency grows with n while per-wire contention
 // stays constant — the opposite trade to FullMesh.
 func Ring(n int) *Topology {
-	t := &Topology{Name: fmt.Sprintf("ring-%d", n), N: n}
+	t := &Topology{Name: fmt.Sprintf("ring-%d", n), N: n, gen: &genInfo{kind: "ring"}}
 	if n == 1 {
 		t.Wires = []Wire{{}}
 		return t
@@ -184,7 +187,7 @@ func Ring(n int) *Topology {
 // full direct connectivity like FullMesh, but no shared medium at all —
 // the switched-network limit where only CPUs contend.
 func Clique(n int) *Topology {
-	t := &Topology{Name: fmt.Sprintf("clique-%d", n), N: n}
+	t := &Topology{Name: fmt.Sprintf("clique-%d", n), N: n, gen: &genInfo{kind: "clique"}}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			w := len(t.Wires)
@@ -224,7 +227,8 @@ func Geo(cfg GeoConfig) *Topology {
 		panic(fmt.Sprintf("topo: Geo needs at least 1 site of 1 process, got %d x %d", cfg.Sites, cfg.PerSite))
 	}
 	n := cfg.Sites * cfg.PerSite
-	t := &Topology{Name: fmt.Sprintf("geo-%dx%d", cfg.Sites, cfg.PerSite), N: n}
+	t := &Topology{Name: fmt.Sprintf("geo-%dx%d", cfg.Sites, cfg.PerSite), N: n,
+		gen: &genInfo{kind: "geo", sites: cfg.Sites, perSite: cfg.PerSite, lan: cfg.LAN, wan: cfg.WAN}}
 	member := func(site, i int) int { return site*cfg.PerSite + i }
 	for s := 0; s < cfg.Sites; s++ {
 		group := make([]int, cfg.PerSite)

@@ -36,6 +36,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // Algorithm selects an atomic broadcast implementation.
@@ -344,3 +345,47 @@ func Milliseconds(ms float64) time.Duration {
 // ProcessID identifies a process in experiment configurations: 0..N-1.
 // The paper's p1 corresponds to ProcessID 0.
 type ProcessID = proto.PID
+
+// Topology is an explicit connectivity graph the network model routes
+// over: wires (contention domains with their own bandwidth, propagation
+// delay and loss) and directed edges riding them. Carry one on
+// Config.Topology, Sweep.Topologies or ClusterConfig.Topology; nil means
+// FullMesh(N), the paper's single shared Ethernet, bit-identical to the
+// pre-topology model. Build one with a generator below or from literals;
+// see internal/topo for the full model.
+type Topology = topo.Topology
+
+// Wire describes one contention domain of a Topology: occupancy per
+// message hop (Slot, zero inherits the model default), propagation delay
+// and per-copy loss probability.
+type Wire = topo.Wire
+
+// Edge is a directed connection between two processes riding a wire.
+type Edge = topo.Edge
+
+// GeoConfig parameterises a Geo topology: Sites datacenters of PerSite
+// processes, each site a clique on a LAN wire, sites joined pairwise by
+// WAN wires between gateways.
+type GeoConfig = topo.GeoConfig
+
+// FullMesh is the paper's network: every process pair joined directly on
+// one shared default-slot wire.
+func FullMesh(n int) *Topology { return topo.FullMesh(n) }
+
+// Star joins every process to hub 0 over dedicated spoke wires; spoke-
+// to-spoke traffic relays through the hub.
+func Star(n int) *Topology { return topo.Star(n) }
+
+// Ring joins each process to its two neighbours; multicasts propagate
+// both ways around, so latency grows with n while contention stays flat.
+func Ring(n int) *Topology { return topo.Ring(n) }
+
+// Clique joins every process pair with a dedicated wire — full direct
+// connectivity with no shared medium, the switched-network limit.
+func Clique(n int) *Topology { return topo.Clique(n) }
+
+// Geo builds a geo-replicated topology: per-site LAN cliques joined by
+// WAN links with their own delay and loss; cross-site traffic relays
+// through per-site gateways. The topology's SiteCut method and the
+// FaultPlan's PartitionSites constructor cut it along the WAN.
+func Geo(cfg GeoConfig) *Topology { return topo.Geo(cfg) }
