@@ -49,6 +49,44 @@ func TestClusterBroadcastAllocBudget(t *testing.T) {
 	}
 }
 
+// TestMulticastSetAllocBudget bounds the set-addressed fan-out that
+// shard-local group multicast rides: one MulticastSet to a registered
+// 3-member set (one group of a Disjoint(12, 4) layout). Like the full
+// fan-out above, the model allocates nothing once warm; the budget of 1
+// tolerates amortised engine-queue growth. The cross-group path on top
+// of this (the router's gram + per-group timestamp proposals, also
+// set-multicasts) pools its envelopes but allocates one pending entry
+// and its proposal map per multi-group message, so its budget is a
+// handful of set-multicasts like this one plus O(1) small allocations
+// per message — BenchmarkMultiGroupThroughput records the measured
+// end-to-end figures.
+func TestMulticastSetAllocBudget(t *testing.T) {
+	const budget = 1.0
+	eng := sim.New()
+	nw := netmodel.New(eng, netmodel.DefaultConfig(12), func(int, int, any) {})
+	sets := make([]netmodel.SetID, 4)
+	for g := 0; g < 4; g++ {
+		sets[g] = nw.RegisterSet([]int{3 * g, 3*g + 1, 3*g + 2})
+	}
+	iter := 0
+	step := func() {
+		g := iter % 4
+		nw.MulticastSet(3*g, sets[g], nil)
+		iter++
+		if iter%256 == 0 {
+			eng.Run()
+		}
+	}
+	for i := 0; i < 1024; i++ {
+		step()
+	}
+	eng.Run()
+	allocs := testing.AllocsPerRun(1024, step)
+	if allocs > budget {
+		t.Fatalf("set multicast hot path: %.2f allocs/op, budget %.0f", allocs, budget)
+	}
+}
+
 // TestNetModelMulticastAllocBudget bounds the contention model's
 // message pipeline of BenchmarkNetModelMulticast: one multicast fan-out
 // to 7 processes. With a pre-boxed payload the model itself allocates

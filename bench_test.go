@@ -261,6 +261,45 @@ func BenchmarkTopologyNScale(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiGroupThroughput measures the sharded ordering layer at a
+// fixed total offered rate spread over a growing group count — the
+// -fig groups panel G1 workload as a kernel benchmark. Each group is a
+// Geo site of 3 processes with its own LAN wire; traffic is shard-local,
+// so the per-group rate falls as 1/groups while the aggregate stays
+// fixed. ns/op is what the group layer costs the simulator as the
+// instance count grows; latency_ms is the virtual-time result, falling
+// as each shard's wire decongests. BENCH_sweep.json records a measured
+// data point.
+func BenchmarkMultiGroupThroughput(b *testing.B) {
+	const totalRate = 240.0
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("groups=%d", k), func(b *testing.B) {
+			t := Geo(GeoConfig{Sites: k, PerSite: 3, WAN: Wire{Delay: 5 * time.Millisecond}})
+			cfg := Config{
+				Algorithm:    FD,
+				N:            3 * k,
+				Throughput:   totalRate,
+				Topology:     t,
+				Groups:       GroupsFromSites(t),
+				Warmup:       time.Second,
+				Measure:      3 * time.Second,
+				Drain:        15 * time.Second,
+				Replications: 1,
+			}
+			b.ReportAllocs()
+			var last Result
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				last = RunSteady(cfg)
+			}
+			if last.Latency.N > 0 {
+				b.ReportMetric(last.Latency.Mean, "latency_ms")
+			}
+			b.ReportMetric(float64(last.Messages), "msgs")
+		})
+	}
+}
+
 // BenchmarkCollectorModes measures the distribution carrier the
 // experiments aggregate into: exact mode retains every observation,
 // sketch mode (Config.DistSketch) folds them into bounded log buckets.

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/experiment"
@@ -101,6 +102,19 @@ type ClusterConfig struct {
 	// FullMesh(N), the paper's shared Ethernet. The topology's N must
 	// equal the cluster's N.
 	Topology *Topology
+	// Groups, when non-nil, shards the ordering layer: each group runs
+	// its own protocol stack, Broadcast addresses the sender's home group
+	// and Multicast any destination set, with cross-group messages merged
+	// into one total order at the destinations. A nil (or single-group)
+	// map is bit-identical to the paper's one-group broadcast path.
+	// Crash-recovery (Recover events) is supported in groups mode for the
+	// FD algorithm only.
+	Groups *GroupMap
+	// CrossShard is the fraction of the built-in Poisson workload sent
+	// cross-shard (home group plus one uniformly random other group);
+	// the rest stays shard-local. Groups mode only; ShardMixAt (or a
+	// ShardMix load event) changes it mid-run.
+	CrossShard float64
 }
 
 // HeartbeatConfig tunes the concrete heartbeat failure detector: the
@@ -135,6 +149,12 @@ type Cluster struct {
 	// sentBy counts A-broadcast calls per process: the ID-sequence base a
 	// recovered GM incarnation continues from (Core.SentBy).
 	sentBy []uint64
+	// crossFrac/mixRng/mixDests drive the workload's shard-local vs
+	// cross-shard mix in groups mode; mixRng is drawn only for mixing, so
+	// a zero fraction is bit-identical to a pure shard-local workload.
+	crossFrac float64
+	mixRng    *sim.Rand
+	mixDests  [2]int
 }
 
 // NewCluster builds a cluster. It panics on invalid configuration.
@@ -163,6 +183,35 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	if cfg.Throughput < 0 {
 		panic("repro: negative throughput")
+	}
+	if cfg.Groups != nil {
+		if err := cfg.Groups.Validate(cfg.N, cfg.Topology); err != nil {
+			panic(err)
+		}
+		if cfg.Groups.Trivial() {
+			cfg.Groups = nil // single group covering everyone: the broadcast path
+		}
+	}
+	if cfg.CrossShard < 0 || cfg.CrossShard > 1 || cfg.CrossShard != cfg.CrossShard {
+		panic(fmt.Sprintf("repro: CrossShard = %v outside [0, 1]", cfg.CrossShard))
+	}
+	if cfg.Groups == nil {
+		if cfg.CrossShard != 0 {
+			panic("repro: CrossShard needs a multi-group ClusterConfig.Groups")
+		}
+		if cfg.Load != nil {
+			for _, ev := range cfg.Load.Events {
+				if _, ok := ev.(ShardMix); ok {
+					panic("repro: a ShardMix load event needs a multi-group ClusterConfig.Groups")
+				}
+			}
+		}
+	} else if cfg.Algorithm != FD && cfg.Plan != nil {
+		for _, ev := range cfg.Plan.Events {
+			if _, ok := ev.(Recover); ok {
+				panic("repro: crash-recovery is unsupported for the GM algorithms in groups mode")
+			}
+		}
 	}
 	// Pre-crashes: the PreCrashed list first, then the plan's PreCrash
 	// events, duplicates dropped.
@@ -214,6 +263,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Renumber:   true,
 		Seed:       cfg.Seed,
 		PreCrashed: preOrder,
+		Groups:     cfg.Groups,
 		Deliver: func(pid proto.PID, id proto.MsgID, body any, at sim.Time) {
 			if cfg.OnDeliver != nil {
 				cfg.OnDeliver(Delivery{
@@ -259,8 +309,17 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				return // crashed mid-run: no load generated
 			}
 			c.sentBy[s]++
+			if c.cfg.Groups != nil {
+				c.mixedMulticast(s, nil)
+				return
+			}
 			c.bcast[s](nil)
 		})
+	if cfg.Groups != nil {
+		c.crossFrac = cfg.CrossShard
+		c.mixRng = sim.NewRand(cfg.Seed).Fork("mix")
+		c.loads.OnShardMix = func(fraction float64) { c.crossFrac = fraction }
+	}
 	c.loads.OnEvent = func(ev LoadEvent) {
 		if cfg.OnLoad != nil {
 			cfg.OnLoad(eng.Now().Duration(), ev)
@@ -288,6 +347,57 @@ func (c *Cluster) BroadcastAt(p int, at time.Duration, body any) {
 		c.sentBy[p]++
 		c.bcast[p](body)
 	})
+}
+
+// Multicast A-multicasts body from process p to the given destination
+// groups at the current instant and returns the message ID: the genuine
+// atomic multicast primitive, delivered exactly once at every live
+// member of the destination groups in one total order. Groups mode only
+// (ClusterConfig.Groups non-nil); destinations may come in any order.
+func (c *Cluster) Multicast(p int, dests []int, body any) MessageID {
+	c.sentBy[p]++
+	return c.multicast(p, dests, body)
+}
+
+// MulticastAt schedules an A-multicast from process p to the given
+// destination groups at virtual time at.
+func (c *Cluster) MulticastAt(p int, at time.Duration, dests []int, body any) {
+	ds := append([]int(nil), dests...)
+	c.eng.Schedule(sim.Time(at), func() {
+		c.sentBy[p]++
+		c.multicast(p, ds, body)
+	})
+}
+
+func (c *Cluster) multicast(p int, dests []int, body any) MessageID {
+	if c.cfg.Groups == nil {
+		panic("repro: Multicast needs a multi-group ClusterConfig.Groups")
+	}
+	ds := append([]int(nil), dests...)
+	sort.Ints(ds)
+	return c.core.Mcast(proto.PID(p), ds, body)
+}
+
+// mixedMulticast sends one workload message from s: shard-local to its
+// home group, or — with probability crossFrac — to the home group plus
+// one uniformly random other group (the experiment workload's mix).
+func (c *Cluster) mixedMulticast(s int, body any) {
+	m := c.cfg.Groups
+	dests := c.mixDests[:1]
+	home := m.Home(proto.PID(s))
+	dests[0] = home
+	if c.crossFrac > 0 && m.NumGroups() > 1 && c.mixRng.Float64() < c.crossFrac {
+		other := c.mixRng.Intn(m.NumGroups() - 1)
+		if other >= home {
+			other++
+		}
+		if other < home {
+			dests = append(dests[:0], other, home)
+		} else {
+			dests = append(dests, other)
+		}
+	}
+	c.core.Mcast(proto.PID(s), dests, body)
 }
 
 // Apply schedules one fault-plan event at its instant — the primitive
@@ -387,6 +497,16 @@ func (c *Cluster) MuteAt(at time.Duration, sender int) {
 // UnmuteAt schedules the lifting of a mute of sender at virtual time at.
 func (c *Cluster) UnmuteAt(at time.Duration, sender int) {
 	c.ApplyLoad(Unmute{At: at, Sender: proto.PID(sender)})
+}
+
+// ShardMixAt schedules a change of the built-in workload's cross-shard
+// fraction at virtual time at (groups mode only): fraction of messages
+// go cross-shard from then on, the rest stay shard-local.
+func (c *Cluster) ShardMixAt(at time.Duration, fraction float64) {
+	if c.cfg.Groups == nil {
+		panic("repro: ShardMixAt needs a multi-group ClusterConfig.Groups")
+	}
+	c.ApplyLoad(ShardMix{At: at, Fraction: fraction})
 }
 
 // PauseAt schedules a pause of the whole workload at virtual time at.

@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, partition, churn, overload, burst, nscale, smoke, ablations or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, dist, hb, partition, churn, overload, burst, nscale, groups, smoke, ablations or all")
 	quickFlag   = flag.Bool("quick", false, "reduced sweeps and durations (~20x faster)")
 	seedFlag    = flag.Uint64("seed", 1, "base random seed")
 	repsFlag    = flag.Int("reps", 0, "replications per point (0 = scenario default)")
@@ -97,6 +97,8 @@ func main() {
 		figBurst()
 	case "nscale":
 		figNScale()
+	case "groups":
+		figGroups()
 	case "smoke":
 		figSmoke()
 	case "ablations":
@@ -982,6 +984,44 @@ func figSmoke() {
 	fmt.Println("# Outage grid: crash p2 at 300ms, recover at 1300ms, T=150/s; FD (point 0) vs GM (point 1)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
 	for i, r := range outageRes {
+		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\n", i,
+			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages, r.Undelivered)
+	}
+	fmt.Println("# point\trep\tdelivery_digest")
+	for _, d := range tr.Digests() {
+		fmt.Printf("%d\t%d\t%016x\n", d.Point, d.Rep, d.Digest)
+	}
+	if err := tr.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace flush: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Fifth pinned grid: the group-sharded ordering layer — one point per
+	// GroupMap across the overlap spectrum (disjoint shards, finer shards,
+	// chained bridges) at a fixed cross-shard mix — exercising group-
+	// addressed dissemination, per-group protocol stacks and the
+	// cross-group timestamp merge, trace record and replay included (the
+	// trace header embeds each point's GroupMap spec).
+	groupSweep := repro.Sweep{
+		Base: repro.Config{
+			Algorithm:    repro.FD,
+			N:            6,
+			Throughput:   60,
+			QoS:          repro.Detectors(10, 0, 0),
+			Seed:         1,
+			Warmup:       200 * time.Millisecond,
+			Measure:      time.Second,
+			Drain:        5 * time.Second,
+			Replications: 2,
+			CrossShard:   0.25,
+			Observers:    []repro.ObserverFactory{tr.Observer},
+		},
+		GroupMaps: []*repro.GroupMap{repro.Disjoint(6, 2), repro.Disjoint(6, 3), repro.Chained(6, 3)},
+	}
+	groupRes := runner.Sweep(groupSweep)
+	fmt.Println("# Group grid: n=6 T=60/s cross-shard=0.25; disjoint/2 (point 0), disjoint/3 (point 1), chained/3 (point 2)")
+	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
+	for i, r := range groupRes {
 		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\n", i,
 			r.Latency.Mean, r.Quantiles.P50, r.Quantiles.P90, r.Quantiles.P99, r.Messages, r.Undelivered)
 	}

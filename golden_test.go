@@ -32,6 +32,10 @@ var goldenDigests = map[string]uint64{
 	// graph-routed wire traces (relay hops, per-wire occupancy, WAN cuts).
 	"FD/n=8/ring":                   0x3fac255812e08916,
 	"GM/n=9/geo-wan-partition-heal": 0x17e9eb344144517a,
+	// Groups-era scenarios: recorded when internal/groups landed, pinning
+	// group-addressed dissemination and cross-group timestamp merging.
+	"FD/n=6/groups-disjoint-crash": 0x765b818e418f0638,
+	"GM/n=7/groups-chained-cross":  0x2978f936b1b229c1,
 }
 
 // goldenScenario drives one fully scripted cluster and folds every
@@ -215,6 +219,48 @@ func goldenScenarios() []goldenScenario {
 			}(),
 			drive: script(9, 40),
 			run:   3 * time.Second,
+		},
+		{
+			// Two disjoint ordering groups sharing one wire: each shard
+			// runs its own FD stack, the crash of p5 is detected and
+			// handled inside group 1 alone, and a handful of cross-group
+			// multicasts exercise the timestamp merge. Pins the group-
+			// addressed dissemination trace (members-only wire hops) and
+			// the per-group protocol interleaving bit for bit.
+			name: "FD/n=6/groups-disjoint-crash",
+			cfg: ClusterConfig{
+				Algorithm: FD, N: 6, Seed: 43, QoS: Detectors(10, 0, 0),
+				Groups: Disjoint(6, 2),
+			},
+			drive: func(c *Cluster) {
+				script(6, 36)(c)
+				for i := 0; i < 5; i++ {
+					c.MulticastAt(i, time.Duration(30+31*i)*time.Millisecond, []int{0, 1}, 100+i)
+				}
+				c.CrashAt(5, 130*time.Millisecond)
+			},
+			run: 2 * time.Second,
+		},
+		{
+			// Three chained GM groups, adjacent pairs bridged by one
+			// shared process: shard-local traffic everywhere plus cross-
+			// group multicasts over every destination combination,
+			// including all three groups at once. Pins the cross-group
+			// timestamp-merge ordering trace bit for bit.
+			name: "GM/n=7/groups-chained-cross",
+			cfg: ClusterConfig{
+				Algorithm: GM, N: 7, Seed: 47, QoS: Detectors(10, 0, 0),
+				Groups: Chained(7, 3),
+			},
+			drive: func(c *Cluster) {
+				script(7, 35)(c)
+				c.MulticastAt(0, 40*time.Millisecond, []int{0, 1}, 200)
+				c.MulticastAt(3, 73*time.Millisecond, []int{1, 2}, 201)
+				c.MulticastAt(6, 101*time.Millisecond, []int{0, 2}, 202)
+				c.MulticastAt(2, 137*time.Millisecond, []int{0, 1, 2}, 203)
+				c.MulticastAt(5, 171*time.Millisecond, []int{0, 1, 2}, 204)
+			},
+			run: 2 * time.Second,
 		},
 		{
 			// Crash-recover-crash churn of the coordinator through the

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ctabcast"
 	"repro/internal/fd"
 	"repro/internal/gm"
+	"repro/internal/groups"
 	"repro/internal/hbfd"
 	"repro/internal/netmodel"
 	"repro/internal/proto"
@@ -36,6 +37,13 @@ type CoreConfig struct {
 	// Topology is the connectivity graph to route over; nil selects the
 	// paper's full mesh on one shared wire.
 	Topology *topo.Topology
+	// Groups, if non-nil and non-trivial, shards the system: every group
+	// runs its own protocol instance (over the topology subgraph its
+	// members span) and messages are genuine atomic multicasts addressed
+	// to destination groups, cross-ordered by timestamp merge. A trivial
+	// map (one group covering everyone) is normalized to nil, keeping the
+	// plain broadcast path bit-identical.
+	Groups *groups.GroupMap
 	// QoS parameterises the modelled failure detectors. The experiment
 	// harness silences it when a concrete Detector is configured; the
 	// interactive facade passes it through as given. NewCore applies
@@ -83,6 +91,13 @@ type Core struct {
 	// FDProcs holds the ctabcast endpoints when Algorithm is FD (nil
 	// entries otherwise): Recover and Healed arm their catch-up probes.
 	FDProcs []*ctabcast.Process
+	// Mcast is the destination-group-addressed multicast entry point,
+	// non-nil only in groups mode: it initiates a genuine multicast from
+	// p to the listed groups (sorted, unique) and returns its global id.
+	Mcast func(p proto.PID, dests []int, body any) proto.MsgID
+	// Coord is the group layer's coordinator, non-nil only in groups
+	// mode.
+	Coord *groups.Coordinator
 
 	// endpoint[p] constructs one protocol-stack incarnation of process p;
 	// Recover uses it to rebuild after a GM crash-recovery.
@@ -99,6 +114,11 @@ type Core struct {
 func NewCore(cfg CoreConfig) *Core {
 	if cfg.Deliver == nil {
 		panic("experiment: NewCore requires a Deliver callback")
+	}
+	if cfg.Groups != nil && cfg.Groups.Trivial() {
+		// One group covering everyone is plain atomic broadcast: use the
+		// ungrouped path so the run is bit-identical to a nil map.
+		cfg.Groups = nil
 	}
 	eng := sim.New()
 	netCfg := netmodel.Config{
@@ -127,6 +147,15 @@ func NewCore(cfg CoreConfig) *Core {
 		if !crashed[proto.PID(p)] {
 			c.Members = append(c.Members, proto.PID(p))
 		}
+	}
+
+	if cfg.Groups != nil {
+		c.buildGroups(cfg, sys)
+		for _, p := range cfg.PreCrashed {
+			sys.PreCrash(p)
+		}
+		sys.Start()
+		return c
 	}
 
 	for p := 0; p < cfg.N; p++ {
@@ -196,6 +225,77 @@ func NewCore(cfg CoreConfig) *Core {
 	return c
 }
 
+// buildGroups assembles the groups-mode system: one groups.Router per
+// process as the root handler, owning one protocol instance per group
+// the process belongs to. Each instance is the same FD or GM stack the
+// ungrouped path builds — constructed here through a factory that runs
+// it in the group's local id space — and the router's timestamp merge
+// provides the cross-group total order.
+func (c *Core) buildGroups(cfg CoreConfig, sys *proto.System) {
+	pre := make([]bool, cfg.N)
+	for _, p := range cfg.PreCrashed {
+		pre[p] = true
+	}
+	factory := func(ic groups.InstanceConfig) groups.Endpoint {
+		var ep groups.Endpoint
+		build := func(rt proto.Runtime) proto.Handler {
+			switch cfg.Algorithm {
+			case FD:
+				proc := ctabcast.New(rt, ctabcast.Config{
+					Deliver:  func(_ proto.MsgID, body any) { ic.Deliver(body) },
+					Renumber: cfg.Renumber,
+				})
+				ep.ABroadcast = proc.ABroadcast
+				ep.Resume = proc.Resume
+				return proc
+			case GM, GMNonUniform:
+				scfg := seqabcast.Config{
+					Deliver:        func(_ proto.MsgID, body any) { ic.Deliver(body) },
+					Uniform:        cfg.Algorithm == GM,
+					InitialMembers: ic.InitialLocal,
+				}
+				if cfg.OnView != nil {
+					global := ic.Members[ic.Local]
+					scfg.OnView = func(v gm.View) {
+						// Report view members in global pids; the view id
+						// sequence is the group's own.
+						mapped := gm.View{ID: v.ID, Members: make([]proto.PID, len(v.Members))}
+						for i, lq := range v.Members {
+							mapped.Members[i] = ic.Members[lq]
+						}
+						cfg.OnView(global, mapped, c.Eng.Now())
+					}
+				}
+				proc := seqabcast.New(rt, scfg)
+				ep.ABroadcast = proc.ABroadcast
+				return proc
+			default:
+				panic(fmt.Sprintf("experiment: unknown algorithm %v", cfg.Algorithm))
+			}
+		}
+		if hb := cfg.Detector; hb != nil {
+			w := hbfd.Wrap(ic.Runtime, hbfd.Config{Interval: hb.Interval, Timeout: hb.Timeout}, build)
+			ep.Restart = w.Restart
+			ep.Handler = w
+		} else {
+			ep.Handler = build(ic.Runtime)
+		}
+		return ep
+	}
+	coord := groups.NewCoordinator(sys, cfg.Groups, pre, factory, cfg.Deliver)
+	c.Coord = coord
+	for p := 0; p < cfg.N; p++ {
+		pid := proto.PID(p)
+		r := coord.NewRouter(sys.Proc(pid))
+		sys.SetHandler(pid, r)
+		home := []int{cfg.Groups.Home(pid)}
+		c.Bcast[p] = func(body any) proto.MsgID { return r.Multicast(home, body) }
+	}
+	c.Mcast = func(p proto.PID, dests []int, body any) proto.MsgID {
+		return coord.Router(p).Multicast(dests, body)
+	}
+}
+
 // Recover revives a crashed process, algorithm-aware: the GM algorithms
 // model a true crash-recovery (a fresh incarnation starts excluded,
 // rejoins through the membership service and catches up via state
@@ -207,6 +307,19 @@ func NewCore(cfg CoreConfig) *Core {
 // process is a no-op.
 func (c *Core) Recover(p proto.PID) {
 	if !c.Sys.Proc(p).Crashed() {
+		return
+	}
+	if c.Coord != nil {
+		// Groups mode: every group instance is an FD stack with its state
+		// intact; restart the detector and arm each instance's catch-up
+		// probe. The GM algorithms would need a per-group rejoin protocol,
+		// which the group layer does not model — validate() rejects that
+		// combination, so reaching here is a bug.
+		if c.alg != FD {
+			panic("experiment: crash-recovery is unsupported for the GM algorithms in groups mode")
+		}
+		c.Sys.Recover(p, nil)
+		c.Coord.Router(p).Recovered()
 		return
 	}
 	if c.alg == FD {
@@ -230,6 +343,14 @@ func (c *Core) Recover(p proto.PID) {
 // for them. Probes on processes that were not behind disarm silently.
 func (c *Core) Healed() {
 	if c.alg != FD {
+		return
+	}
+	if c.Coord != nil {
+		for p := 0; p < c.Coord.Map().N(); p++ {
+			if !c.Sys.Proc(proto.PID(p)).Crashed() {
+				c.Coord.Router(proto.PID(p)).Resumed()
+			}
+		}
 		return
 	}
 	for p, proc := range c.FDProcs {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/fd"
+	"repro/internal/groups"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -84,6 +85,20 @@ type Config struct {
 	// composes unchanged. The topology's N must equal Config.N. Trace
 	// headers embed it, so topology runs replay.
 	Topology *topo.Topology
+	// Groups, if non-nil and non-trivial, shards the system into groups
+	// (possibly overlapping; see internal/groups): each group runs its
+	// own protocol instance over its topology subgraph and the workload
+	// becomes genuine atomic multicast — each broadcast is addressed to
+	// the sender's home group, plus one other group with probability
+	// CrossShard. Groups must cover exactly N processes and, with a
+	// Topology, every group must be internally connected. A trivial map
+	// (one group covering everyone) is normalized away and bit-identical
+	// to nil. Trace headers embed the map, so grouped runs replay.
+	Groups *groups.GroupMap
+	// CrossShard is the fraction of generated broadcasts addressed to a
+	// second group besides the sender's home group (groups mode only),
+	// in [0, 1]. A ShardMix load event changes it mid-run.
+	CrossShard float64
 	// QoS parameterises the failure detectors (§6.2). Ignored when
 	// Detector selects the concrete heartbeat implementation.
 	QoS fd.QoS
@@ -223,6 +238,25 @@ func (c Config) validate() error {
 	if err := c.Load.validate(c.N); err != nil {
 		return err
 	}
+	if c.Groups != nil {
+		if err := c.Groups.Validate(c.N, c.Topology); err != nil {
+			return err
+		}
+		if c.Algorithm != FD && !c.Groups.Trivial() && c.Plan.hasRecover() {
+			return fmt.Errorf("experiment: crash-recovery is unsupported for the GM algorithms in groups mode (group instances have no per-group rejoin)")
+		}
+	}
+	if c.CrossShard < 0 || c.CrossShard > 1 || c.CrossShard != c.CrossShard {
+		return fmt.Errorf("experiment: CrossShard = %v, want a fraction in [0, 1]", c.CrossShard)
+	}
+	if c.Groups == nil || c.Groups.Trivial() {
+		if c.CrossShard != 0 {
+			return fmt.Errorf("experiment: CrossShard without a (non-trivial) Groups map")
+		}
+		if c.Load.hasShardMix() {
+			return fmt.Errorf("experiment: load plan carries a shardmix event without a (non-trivial) Groups map")
+		}
+	}
 	if pre := len(c.preCrashOrder()); pre >= (c.N+1)/2 {
 		return fmt.Errorf("experiment: %d pre-crashes exceed the f < n/2 bound for n = %d", pre, c.N)
 	}
@@ -331,9 +365,19 @@ type cluster struct {
 	// broadcasts and deliveredAt0 are the backlog accounting used for
 	// divergence detection: every broadcast issued through broadcast()
 	// versus deliveries observed at process 0 (always alive in steady
-	// scenarios: crash-steady crashes the highest PIDs).
+	// scenarios: crash-steady crashes the highest PIDs). In groups mode
+	// only multicasts whose destination groups contain p0 count — p0
+	// never delivers the rest.
 	broadcasts   int
 	deliveredAt0 int
+	// crossFrac and mixRng drive the groups-mode destination choice:
+	// each broadcast goes to the sender's home group, plus one other
+	// group with probability crossFrac, drawn from the dedicated "mix"
+	// stream (unused in broadcast mode, so a zero fraction consumes no
+	// randomness and shard-local-only runs are insensitive to it).
+	crossFrac float64
+	mixRng    *sim.Rand
+	mixDests  [2]int
 }
 
 // broadcast A-broadcasts body from sender and maintains the backlog
@@ -345,9 +389,45 @@ func (c *cluster) broadcast(sender int, body any) proto.MsgID {
 	if c.sys.Proc(proto.PID(sender)).Crashed() {
 		return proto.MsgID{}
 	}
+	if m := c.cfg.Groups; m != nil {
+		return c.multicastMixed(m, sender, body)
+	}
 	c.broadcasts++
 	c.sentBy[sender]++
 	id := c.bcast[sender](body)
+	if c.onBroadcast != nil {
+		c.onBroadcast(proto.PID(sender), id)
+	}
+	return id
+}
+
+// multicastMixed issues one groups-mode broadcast: to the sender's home
+// group, plus one uniformly-drawn other group with probability
+// crossFrac. Only messages whose destinations contain p0 count toward
+// the divergence backlog — p0 never delivers the rest.
+func (c *cluster) multicastMixed(m *groups.GroupMap, sender int, body any) proto.MsgID {
+	home := m.Home(proto.PID(sender))
+	dests := c.mixDests[:1]
+	dests[0] = home
+	if c.crossFrac > 0 && m.NumGroups() > 1 && c.mixRng.Float64() < c.crossFrac {
+		other := c.mixRng.Intn(m.NumGroups() - 1)
+		if other >= home {
+			other++
+		}
+		if other < home {
+			dests = append(dests[:0], other, home)
+		} else {
+			dests = append(dests, other)
+		}
+	}
+	c.sentBy[sender]++
+	for _, g := range dests {
+		if m.Contains(g, 0) {
+			c.broadcasts++
+			break
+		}
+	}
+	id := c.core.Mcast(proto.PID(sender), dests, body)
 	if c.onBroadcast != nil {
 		c.onBroadcast(proto.PID(sender), id)
 	}
@@ -368,12 +448,22 @@ func newCluster(cfg Config, seed uint64) *cluster {
 		// Detector point is bit-identical whatever QoS it inherited.
 		qos = fd.QoS{}
 	}
+	if cfg.Groups != nil && cfg.Groups.Trivial() {
+		// Normalize here too (NewCore normalizes its own copy): the
+		// cluster's broadcast path keys off cfg.Groups.
+		cfg.Groups = nil
+	}
 	c := &cluster{cfg: cfg}
+	if cfg.Groups != nil {
+		c.crossFrac = cfg.CrossShard
+		c.mixRng = sim.NewRand(seed).Fork("mix")
+	}
 	c.core = NewCore(CoreConfig{
 		Algorithm:  cfg.Algorithm,
 		N:          cfg.N,
 		Lambda:     cfg.Lambda,
 		Topology:   cfg.Topology,
+		Groups:     cfg.Groups,
 		QoS:        qos,
 		Detector:   cfg.Detector,
 		Renumber:   !cfg.DisableRenumber,
@@ -420,6 +510,9 @@ func (c *cluster) setupLoad(cfg Config, rep int, fire func(sender int)) {
 		if c.onLoadEvent != nil {
 			c.onLoadEvent(ev)
 		}
+	}
+	if cfg.Groups != nil {
+		c.loads.OnShardMix = func(fraction float64) { c.crossFrac = fraction }
 	}
 	c.loads.Install(cfg.Load)
 }

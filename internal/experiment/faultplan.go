@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/groups"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -234,6 +235,36 @@ func (p *FaultPlan) PartitionSites(at time.Duration, t *topo.Topology, sites ...
 	return p.Partition(at, groups...)
 }
 
+// PartitionGroups appends a Partition event isolating the listed groups
+// of a GroupMap: the union of their members on one side, everyone else
+// on the other. It is PartitionSites' group-layer sibling — "one shard
+// falls off the network" as a first-class constructor — and composes
+// with overlapping maps (a bridge member of a listed and an unlisted
+// group lands on the isolated side).
+func (p *FaultPlan) PartitionGroups(at time.Duration, m *groups.GroupMap, gids ...int) *FaultPlan {
+	if len(gids) == 0 {
+		panic("experiment: PartitionGroups with no groups")
+	}
+	inA := make([]bool, m.N())
+	for _, g := range gids {
+		for _, pid := range m.Members(g) {
+			inA[pid] = true
+		}
+	}
+	var a, b []proto.PID
+	for pid := 0; pid < m.N(); pid++ {
+		if inA[pid] {
+			a = append(a, proto.PID(pid))
+		} else {
+			b = append(b, proto.PID(pid))
+		}
+	}
+	if len(b) == 0 {
+		panic(fmt.Sprintf("experiment: PartitionGroups(%v) isolates every process", gids))
+	}
+	return p.Partition(at, a, b)
+}
+
 // Link appends a LinkFault event.
 func (p *FaultPlan) Link(at time.Duration, from, to proto.PID, loss float64, extraDelay time.Duration) *FaultPlan {
 	p.Events = append(p.Events, LinkFault{At: at, From: from, To: to, Loss: loss, ExtraDelay: extraDelay})
@@ -275,6 +306,20 @@ func (p *FaultPlan) preCrashes() []proto.PID {
 		}
 	}
 	return out
+}
+
+// hasRecover reports whether the plan schedules a Recover event, which
+// groups mode only supports for the FD algorithm.
+func (p *FaultPlan) hasRecover() bool {
+	if p == nil {
+		return false
+	}
+	for _, ev := range p.Events {
+		if _, ok := ev.(Recover); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate checks every event against a system of n processes: process

@@ -123,12 +123,25 @@ type Resume struct {
 	At time.Duration
 }
 
+// ShardMix sets the workload's cross-shard fraction at instant At
+// (groups mode only, see Config.Groups): from this instant each
+// generated broadcast is addressed to the sender's home group plus one
+// other group with probability Fraction, and stays shard-local
+// otherwise. It is how a sweep point walks the shard-local/cross-shard
+// spectrum mid-run; Config.CrossShard sets the fraction the run starts
+// with.
+type ShardMix struct {
+	At       time.Duration
+	Fraction float64
+}
+
 func (e RateChange) When() time.Duration { return e.At }
 func (e Burst) When() time.Duration      { return e.At }
 func (e Mute) When() time.Duration       { return e.At }
 func (e Unmute) When() time.Duration     { return e.At }
 func (e Pause) When() time.Duration      { return e.At }
 func (e Resume) When() time.Duration     { return e.At }
+func (e ShardMix) When() time.Duration   { return e.At }
 
 func (RateChange) loadEvent() {}
 func (Burst) loadEvent()      {}
@@ -136,6 +149,7 @@ func (Mute) loadEvent()       {}
 func (Unmute) loadEvent()     {}
 func (Pause) loadEvent()      {}
 func (Resume) loadEvent()     {}
+func (ShardMix) loadEvent()   {}
 
 // senderName renders a load event's target: "all" or "p<i>".
 func senderName(p proto.PID) string {
@@ -153,10 +167,11 @@ func (e Burst) String() string {
 	return fmt.Sprintf("burst %s x%g for %v", senderName(e.Sender), e.Factor, e.For)
 }
 
-func (e Mute) String() string   { return "mute " + senderName(e.Sender) }
-func (e Unmute) String() string { return "unmute " + senderName(e.Sender) }
-func (e Pause) String() string  { return "pause" }
-func (e Resume) String() string { return "resume" }
+func (e Mute) String() string     { return "mute " + senderName(e.Sender) }
+func (e Unmute) String() string   { return "unmute " + senderName(e.Sender) }
+func (e Pause) String() string    { return "pause" }
+func (e Resume) String() string   { return "resume" }
+func (e ShardMix) String() string { return fmt.Sprintf("shardmix f=%g", e.Fraction) }
 
 // Rate appends a RateChange event and returns the plan for chaining;
 // sender AllSenders re-spreads rate as a new total throughput.
@@ -194,6 +209,26 @@ func (p *LoadPlan) Pause(at time.Duration) *LoadPlan {
 func (p *LoadPlan) Resume(at time.Duration) *LoadPlan {
 	p.Events = append(p.Events, Resume{At: at})
 	return p
+}
+
+// Mix appends a ShardMix event setting the cross-shard fraction.
+func (p *LoadPlan) Mix(at time.Duration, fraction float64) *LoadPlan {
+	p.Events = append(p.Events, ShardMix{At: at, Fraction: fraction})
+	return p
+}
+
+// hasShardMix reports whether the plan carries a ShardMix event, which
+// only a groups-mode configuration can honour.
+func (p *LoadPlan) hasShardMix() bool {
+	if p == nil {
+		return false
+	}
+	for _, ev := range p.Events {
+		if _, ok := ev.(ShardMix); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // timed returns the plan's events sorted by time, stable so same-instant
@@ -255,6 +290,10 @@ func (p *LoadPlan) validate(n int) error {
 			}
 		case Pause, Resume:
 			// Nothing beyond the time check.
+		case ShardMix:
+			if e.Fraction < 0 || e.Fraction > 1 || e.Fraction != e.Fraction {
+				return fmt.Errorf("experiment: load shardmix with invalid fraction %v (want 0..1)", e.Fraction)
+			}
 		default:
 			return fmt.Errorf("experiment: unknown load event type %T", ev)
 		}
@@ -296,6 +335,10 @@ type Loads struct {
 	sources []*workload.Poisson
 	// OnEvent, if non-nil, observes each event at the instant it applies.
 	OnEvent func(ev LoadEvent)
+	// OnShardMix, if non-nil, receives ShardMix events' fractions — the
+	// groups-mode cluster hooks it to retarget generated traffic. Without
+	// the hook the event is a no-op (validation rejects the combination).
+	OnShardMix func(fraction float64)
 
 	base   []float64 // logical per-sender rate, msgs/s
 	factor []float64 // product of the sender's active burst factors
@@ -383,6 +426,10 @@ func (l *Loads) Fire(ev LoadEvent) {
 	case Resume:
 		l.paused = false
 		l.apply(AllSenders)
+	case ShardMix:
+		if l.OnShardMix != nil {
+			l.OnShardMix(e.Fraction)
+		}
 	default:
 		panic(fmt.Sprintf("experiment: unknown load event type %T", ev))
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fd"
+	"repro/internal/groups"
 	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -247,11 +248,18 @@ type Sweep struct {
 	// both Ns and Topologies should derive one from the other (build the
 	// grid in two Sweeps, or fix N and vary only the graph).
 	Topologies []*topo.Topology
+	// GroupMaps sweeps the group assignment: each entry is one
+	// Config.Groups — a generated or raw groups.GroupMap, or nil for the
+	// ungrouped broadcast point. Crossed with Loads (ShardMix events) and
+	// Throughputs, one grid walks shard-local scaling against group count
+	// and cross-shard fraction. Entries must cover the point's N.
+	GroupMaps []*groups.GroupMap
 }
 
 // Points expands the grid in canonical order: Algorithm outermost, then
 // N, then Throughput, then QoS, then Lambda, then CrashSet, then
-// Detector, then Plan, then Load, then Topology innermost.
+// Detector, then Plan, then Load, then Topology, then GroupMap
+// innermost.
 func (s Sweep) Points() []Config {
 	algs := s.Algorithms
 	if len(algs) == 0 {
@@ -293,7 +301,11 @@ func (s Sweep) Points() []Config {
 	if len(topos) == 0 {
 		topos = []*topo.Topology{s.Base.Topology}
 	}
-	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets)*len(plans)*len(loads)*len(topos))
+	gmaps := s.GroupMaps
+	if len(gmaps) == 0 {
+		gmaps = []*groups.GroupMap{s.Base.Groups}
+	}
+	out := make([]Config, 0, len(algs)*len(ns)*len(thrs)*len(qos)*len(lambdas)*len(crashes)*len(dets)*len(plans)*len(loads)*len(topos)*len(gmaps))
 	for _, a := range algs {
 		for _, n := range ns {
 			for _, t := range thrs {
@@ -304,11 +316,13 @@ func (s Sweep) Points() []Config {
 								for _, plan := range plans {
 									for _, load := range loads {
 										for _, tp := range topos {
-											cfg := s.Base
-											cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
-											cfg.Lambda, cfg.Crashed, cfg.Detector, cfg.Plan = l, cr, det, plan
-											cfg.Load, cfg.Topology = load, tp
-											out = append(out, cfg)
+											for _, gmap := range gmaps {
+												cfg := s.Base
+												cfg.Algorithm, cfg.N, cfg.Throughput, cfg.QoS = a, n, t, q
+												cfg.Lambda, cfg.Crashed, cfg.Detector, cfg.Plan = l, cr, det, plan
+												cfg.Load, cfg.Topology, cfg.Groups = load, tp, gmap
+												out = append(out, cfg)
+											}
 										}
 									}
 								}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/groups"
 	"repro/internal/netmodel"
 	"repro/internal/proto"
 	"repro/internal/sim"
@@ -248,6 +249,12 @@ type traceHeader struct {
 	// Topo is the configuration's topology, as a generator call or a raw
 	// graph dump, so topology replications replay from the header alone.
 	Topo *topo.Spec `json:"topo,omitempty"`
+	// Groups is the configuration's group map, as a generator call or raw
+	// member lists, so grouped replications replay from the header alone.
+	Groups *groups.Spec `json:"groups,omitempty"`
+	// CrossShard is the starting cross-shard traffic fraction (groups
+	// mode).
+	CrossShard float64 `json:"crossShard,omitempty"`
 	// Plan is the configuration's fault plan, flattened one event per
 	// entry, so planned replications replay from the header alone.
 	Plan []planEventJSON `json:"plan,omitempty"`
@@ -358,12 +365,13 @@ func planFromJSON(events []planEventJSON) (*FaultPlan, error) {
 // loadEventJSON is the flat, kind-tagged image of one LoadEvent.
 // AllSenders marshals as its literal value, -1.
 type loadEventJSON struct {
-	Kind   string  `json:"kind"`
-	At     int64   `json:"at,omitempty"`
-	Sender int     `json:"sender,omitempty"`
-	Rate   float64 `json:"rate,omitempty"`
-	Factor float64 `json:"factor,omitempty"`
-	For    int64   `json:"for,omitempty"`
+	Kind     string  `json:"kind"`
+	At       int64   `json:"at,omitempty"`
+	Sender   int     `json:"sender,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+	For      int64   `json:"for,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
 }
 
 // loadToJSON flattens a load plan for the trace header. A nil plan yields
@@ -388,6 +396,8 @@ func loadToJSON(plan *LoadPlan) []loadEventJSON {
 			j = loadEventJSON{Kind: "pause", At: int64(e.At)}
 		case Resume:
 			j = loadEventJSON{Kind: "resume", At: int64(e.At)}
+		case ShardMix:
+			j = loadEventJSON{Kind: "shardmix", At: int64(e.At), Fraction: e.Fraction}
 		default:
 			panic(fmt.Sprintf("experiment: unknown load event type %T", ev))
 		}
@@ -418,6 +428,8 @@ func loadFromJSON(events []loadEventJSON) (*LoadPlan, error) {
 			plan.Events = append(plan.Events, Pause{At: time.Duration(j.At)})
 		case "resume":
 			plan.Events = append(plan.Events, Resume{At: time.Duration(j.At)})
+		case "shardmix":
+			plan.Events = append(plan.Events, ShardMix{At: time.Duration(j.At), Fraction: j.Fraction})
 		default:
 			return nil, fmt.Errorf("experiment: trace header has unknown load event kind %q", j.Kind)
 		}
@@ -466,6 +478,10 @@ func headerFromConfig(cfg Config, point, rep int) traceHeader {
 		spec := cfg.Topology.Spec()
 		h.Topo = &spec
 	}
+	if cfg.Groups != nil {
+		h.Groups = cfg.Groups.Spec()
+		h.CrossShard = cfg.CrossShard
+	}
 	h.Plan = planToJSON(cfg.Plan)
 	h.Load = loadToJSON(cfg.Load)
 	if ti := cfg.transient; ti != nil {
@@ -509,6 +525,14 @@ func configFromHeader(h traceHeader) (Config, error) {
 			return cfg, err
 		}
 		cfg.Topology = t
+	}
+	if h.Groups != nil {
+		m, err := groups.FromSpec(h.Groups)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Groups = m
+		cfg.CrossShard = h.CrossShard
 	}
 	plan, err := planFromJSON(h.Plan)
 	if err != nil {

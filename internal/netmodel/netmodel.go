@@ -230,6 +230,7 @@ type Network struct {
 	// Routing tables and resolved per-wire parameters, compiled once
 	// from the topology.
 	rt        *topo.Routing
+	sets      []*topo.SetRouting // pruned tables per registered destination set
 	wireSlot  []time.Duration
 	wireDelay []time.Duration
 	wireLoss  []float64
@@ -419,8 +420,30 @@ func (nw *Network) emit(kind TraceKind, at sim.Time, from, to int, payload any) 
 	}
 }
 
-// pack folds (origin, node) into one event record field.
-func (nw *Network) pack(origin, node int) int { return origin*nw.cfg.N + node }
+// pack folds (set, origin, node) into one event record field; set -1 is
+// the full-topology multicast (and every unicast), whose packed value is
+// origin·N+node exactly as before destination sets existed.
+func (nw *Network) pack(set, origin, node int) int {
+	return ((set+1)*nw.cfg.N+origin)*nw.cfg.N + node
+}
+
+// treeRow returns the transmit groups node performs for origin's
+// multicast: the full spanning tree, or the set's pruned one.
+func (nw *Network) treeRow(set, origin, node int) []topo.TxGroup {
+	if set >= 0 {
+		return nw.sets[set].Tree[origin][node]
+	}
+	return nw.rt.Tree[origin][node]
+}
+
+// subCopies counts the in-flight references behind dst in origin's tree:
+// all nodes for a full multicast, set members only for a set multicast.
+func (nw *Network) subCopies(set, origin, dst int) int {
+	if set >= 0 {
+		return int(nw.sets[set].Sub[origin][dst])
+	}
+	return int(nw.rt.Sub[origin][dst])
+}
 
 // Send transmits payload from process `from` to process `to` through the
 // CPU→wire→CPU pipeline of every hop on the route. Sending to self
@@ -440,10 +463,10 @@ func (nw *Network) Send(from, to int, payload any) {
 	nw.counters.Unicasts++
 	nw.emit(TraceSend, nw.eng.Now(), from, to, payload)
 	if nw.rt.Next[from][to] < 0 {
-		nw.lose(from, from, to, to, payload)
+		nw.lose(-1, from, from, to, to, payload)
 		return
 	}
-	nw.throughCPU(from, from, to, payload)
+	nw.throughCPU(-1, from, from, to, payload)
 }
 
 // Multicast transmits payload from process `from` to every process
@@ -465,40 +488,84 @@ func (nw *Network) Multicast(from int, payload any) {
 	nw.counters.Multicasts++
 	nw.emit(TraceSend, nw.eng.Now(), from, -1, payload)
 	nw.localDeliver(from, payload)
-	nw.forward(from, from, payload)
+	nw.forward(-1, from, from, payload)
+}
+
+// SetID names a destination set registered with RegisterSet.
+type SetID int32
+
+// RegisterSet precompiles pruned multicast routing for a destination
+// set — the address of MulticastSet. Registration is setup-time work:
+// each set costs O(N²) table space, like the full routing itself.
+func (nw *Network) RegisterSet(members []int) SetID {
+	nw.sets = append(nw.sets, nw.rt.PruneSet(members))
+	return SetID(len(nw.sets) - 1)
+}
+
+// MulticastSet transmits payload from process `from` to every member of
+// a registered destination set, along the pruned spanning tree of the
+// origin: non-member relays forward copies without receiving them as
+// destinations, and only members deliver. The sender delivers locally
+// (free) only if it is itself a member. Resource usage per hop is the
+// same as Multicast's; only the fan-out is narrower. Sends from a
+// crashed process are ignored.
+func (nw *Network) MulticastSet(from int, set SetID, payload any) {
+	if nw.crashed[from] {
+		Discard(payload)
+		return
+	}
+	sr := nw.sets[set]
+	local := 0
+	if sr.Member[from] {
+		local = 1
+	}
+	if local+int(sr.Reach[from]) == 0 {
+		Discard(payload)
+		return
+	}
+	retain(payload, local+int(sr.Reach[from]))
+	nw.counters.Multicasts++
+	nw.emit(TraceSend, nw.eng.Now(), from, -1, payload)
+	if local == 1 {
+		nw.localDeliver(from, payload)
+	}
+	nw.forward(int(set), from, from, payload)
 }
 
 // forward starts the transmit stage for every tree segment of origin's
 // multicast at the holding node — one send-CPU occupancy per segment.
-func (nw *Network) forward(origin, node int, payload any) {
-	for gi := range nw.rt.Tree[origin][node] {
-		nw.throughCPU(origin, node, -(gi + 1), payload)
+func (nw *Network) forward(set, origin, node int, payload any) {
+	for gi := range nw.treeRow(set, origin, node) {
+		nw.throughCPU(set, origin, node, -(gi + 1), payload)
 	}
 }
 
 // HandleMsg advances one in-flight hop to its next pipeline stage. It
-// implements sim.MsgHandler; a packs origin·N+node, b is the route code.
+// implements sim.MsgHandler; a packs (set+1)·N²+origin·N+node, b is the
+// route code.
 func (nw *Network) HandleMsg(op uint8, a, b int, payload any) {
-	origin, node := a/nw.cfg.N, a%nw.cfg.N
+	node := a % nw.cfg.N
+	rest := a / nw.cfg.N
+	origin, set := rest%nw.cfg.N, rest/nw.cfg.N-1
 	switch op {
 	case opSenderCPUDone:
-		nw.throughWire(origin, node, b, payload)
+		nw.throughWire(set, origin, node, b, payload)
 	case opWireDone:
 		if b >= 0 {
 			next := int(nw.rt.Next[node][b])
-			nw.arrive(origin, node, next, int(nw.rt.HopWire[node][b]), b, payload)
+			nw.arrive(set, origin, node, next, int(nw.rt.HopWire[node][b]), b, payload)
 		} else {
-			g := &nw.rt.Tree[origin][node][-b-1]
+			g := &nw.treeRow(set, origin, node)[-b-1]
 			for _, dst := range g.Dsts {
-				nw.arrive(origin, node, int(dst), int(g.Wire), -1, payload)
+				nw.arrive(set, origin, node, int(dst), int(g.Wire), -1, payload)
 			}
 		}
 	case opRecvCPUDone:
-		nw.received(origin, node, b, payload)
+		nw.received(set, origin, node, b, payload)
 	case opLocalDeliver:
 		nw.deliverLocal(node, payload)
 	case opFaultArrive:
-		nw.intoCPU(origin, node, b, payload)
+		nw.intoCPU(set, origin, node, b, payload)
 	default:
 		panic(fmt.Sprintf("netmodel: unknown pipeline op %d", op))
 	}
@@ -509,7 +576,7 @@ func (nw *Network) HandleMsg(op uint8, a, b int, payload any) {
 // reenters the caller.
 func (nw *Network) localDeliver(p int, payload any) {
 	nw.counters.LocalSends++
-	nw.eng.AfterMsg(0, nw, opLocalDeliver, nw.pack(p, p), p, payload)
+	nw.eng.AfterMsg(0, nw, opLocalDeliver, nw.pack(-1, p, p), p, payload)
 }
 
 // deliverLocal completes a self-delivery, honouring a crash that happened
@@ -529,14 +596,14 @@ func (nw *Network) deliverLocal(p int, payload any) {
 
 // throughCPU occupies node's CPU for λ and then hands the hop to the wire
 // stage. The CPU is FIFO: occupancy accumulates on a busy-until horizon.
-func (nw *Network) throughCPU(origin, node, b int, payload any) {
+func (nw *Network) throughCPU(set, origin, node, b int, payload any) {
 	start := nw.eng.Now()
 	if nw.cpuBusy[node] > start {
 		start = nw.cpuBusy[node]
 	}
 	done := start.Add(nw.cfg.Lambda)
 	nw.cpuBusy[node] = done
-	nw.eng.ScheduleMsg(done, nw, opSenderCPUDone, nw.pack(origin, node), b, payload)
+	nw.eng.ScheduleMsg(done, nw, opSenderCPUDone, nw.pack(set, origin, node), b, payload)
 }
 
 // throughWire occupies the hop's wire for its slot, then fans the hop out
@@ -544,13 +611,13 @@ func (nw *Network) throughCPU(origin, node, b int, payload any) {
 // the sending CPU, which preserves the FIFO arrival order at the medium;
 // the wire's propagation delay postpones arrival without extending the
 // occupancy.
-func (nw *Network) throughWire(origin, node, b int, payload any) {
+func (nw *Network) throughWire(set, origin, node, b int, payload any) {
 	var wire int32
 	traceTo := b
 	if b >= 0 {
 		wire = nw.rt.HopWire[node][b]
 	} else {
-		g := &nw.rt.Tree[origin][node][-b-1]
+		g := &nw.treeRow(set, origin, node)[-b-1]
 		wire = g.Wire
 		if len(g.Dsts) == 1 {
 			// A segment with a single destination traces the concrete
@@ -568,7 +635,7 @@ func (nw *Network) throughWire(origin, node, b int, payload any) {
 	nw.wireBusy[wire] = done
 	nw.counters.WireSlots++
 	nw.emit(TraceWire, start, node, traceTo, payload)
-	nw.eng.ScheduleMsg(done.Add(nw.wireDelay[wire]), nw, opWireDone, nw.pack(origin, node), b, payload)
+	nw.eng.ScheduleMsg(done.Add(nw.wireDelay[wire]), nw, opWireDone, nw.pack(set, origin, node), b, payload)
 }
 
 // arrive is the wire→destination handoff of one hop, where partitions,
@@ -578,40 +645,40 @@ func (nw *Network) throughWire(origin, node, b int, payload any) {
 // Fault-free perfect-wire networks skip straight to intoCPU. Destinations
 // of a segment are visited in fixed ascending order, so the loss stream's
 // draws are deterministic.
-func (nw *Network) arrive(origin, node, dst, wire, b int, payload any) {
+func (nw *Network) arrive(set, origin, node, dst, wire, b int, payload any) {
 	if nw.faults {
 		if !nw.reachable(node, dst) {
-			nw.lose(origin, node, dst, b, payload)
+			nw.lose(set, origin, node, dst, b, payload)
 			return
 		}
 		if nw.linkLoss != nil {
 			if loss := nw.linkLoss[node][dst]; loss > 0 && nw.faultRand.Float64() < loss {
-				nw.lose(origin, node, dst, b, payload)
+				nw.lose(set, origin, node, dst, b, payload)
 				return
 			}
 		}
 	}
 	if wl := nw.wireLoss[wire]; wl > 0 && nw.faultRand.Float64() < wl {
-		nw.lose(origin, node, dst, b, payload)
+		nw.lose(set, origin, node, dst, b, payload)
 		return
 	}
 	if nw.faults && nw.linkDelay != nil {
 		if d := nw.linkDelay[node][dst]; d > 0 {
-			nw.eng.AfterMsg(d, nw, opFaultArrive, nw.pack(origin, dst), b, payload)
+			nw.eng.AfterMsg(d, nw, opFaultArrive, nw.pack(set, origin, dst), b, payload)
 			return
 		}
 	}
-	nw.intoCPU(origin, dst, b, payload)
+	nw.intoCPU(set, origin, dst, b, payload)
 }
 
 // lose discards a copy to a fault (partition, link or wire loss, or a
 // route that does not exist). For a multicast hop (b < 0) the whole
 // subtree behind dst dies with it: every copy it would have fanned into
 // is released and counted lost, under one drop trace.
-func (nw *Network) lose(origin, node, dst, b int, payload any) {
+func (nw *Network) lose(set, origin, node, dst, b int, payload any) {
 	copies := 1
 	if b < 0 {
-		copies = int(nw.rt.Sub[origin][dst])
+		copies = nw.subCopies(set, origin, dst)
 	}
 	nw.emit(TraceDrop, nw.eng.Now(), node, dst, payload)
 	nw.counters.Lost += uint64(copies)
@@ -622,20 +689,20 @@ func (nw *Network) lose(origin, node, dst, b int, payload any) {
 
 // intoCPU occupies the destination CPU for λ and hands the hop to the
 // receive stage.
-func (nw *Network) intoCPU(origin, dst, b int, payload any) {
+func (nw *Network) intoCPU(set, origin, dst, b int, payload any) {
 	start := nw.eng.Now()
 	if nw.cpuBusy[dst] > start {
 		start = nw.cpuBusy[dst]
 	}
 	done := start.Add(nw.cfg.Lambda)
 	nw.cpuBusy[dst] = done
-	nw.eng.ScheduleMsg(done, nw, opRecvCPUDone, nw.pack(origin, dst), b, payload)
+	nw.eng.ScheduleMsg(done, nw, opRecvCPUDone, nw.pack(set, origin, dst), b, payload)
 }
 
 // received completes a hop's receive stage at node: final deliveries go
 // up to the process, relay hops forward — unless the node crashed while
 // the hop was in flight, which on a multicast kills the whole subtree.
-func (nw *Network) received(origin, node, b int, payload any) {
+func (nw *Network) received(set, origin, node, b int, payload any) {
 	if b >= 0 && node != b {
 		// Unicast relay: forward toward b, unless this relay is dead.
 		if nw.crashed[node] {
@@ -644,7 +711,23 @@ func (nw *Network) received(origin, node, b int, payload any) {
 			release(payload)
 			return
 		}
-		nw.throughCPU(origin, node, b, payload)
+		nw.throughCPU(set, origin, node, b, payload)
+		return
+	}
+	if b < 0 && set >= 0 && !nw.sets[set].Member[node] {
+		// Non-member relay of a set multicast: the copy passes through
+		// without being a destination, so it holds no reference. A dead
+		// relay still kills every member behind it.
+		if nw.crashed[node] {
+			sub := nw.subCopies(set, origin, node)
+			nw.emit(TraceDrop, nw.eng.Now(), origin, node, payload)
+			nw.counters.Lost += uint64(sub)
+			for i := 0; i < sub; i++ {
+				release(payload)
+			}
+			return
+		}
+		nw.forward(set, origin, node, payload)
 		return
 	}
 	if nw.crashed[node] {
@@ -653,7 +736,7 @@ func (nw *Network) received(origin, node, b int, payload any) {
 		if b < 0 {
 			// The dead node's copy is a crash drop; the subtree behind it
 			// is lost to the environment.
-			if sub := int(nw.rt.Sub[origin][node]); sub > 1 {
+			if sub := nw.subCopies(set, origin, node); sub > 1 {
 				nw.counters.Lost += uint64(sub - 1)
 				for i := 1; i < sub; i++ {
 					release(payload)
@@ -666,7 +749,7 @@ func (nw *Network) received(origin, node, b int, payload any) {
 	if b < 0 {
 		// Relay before delivering: the NIC forwards the multicast down
 		// the tree, then the local copy goes up to the process.
-		nw.forward(origin, node, payload)
+		nw.forward(set, origin, node, payload)
 	}
 	nw.counters.Deliveries++
 	nw.emit(TraceDeliver, nw.eng.Now(), origin, node, payload)

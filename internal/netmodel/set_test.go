@@ -1,0 +1,152 @@
+package netmodel
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// A set multicast on the full mesh reaches exactly the set's members:
+// the local copy immediately, the rest with the usual pipeline costs.
+func TestSetMulticastReachesMembersOnly(t *testing.T) {
+	h := newHarness(t, DefaultConfig(5))
+	set := h.nw.RegisterSet([]int{0, 2, 4})
+	h.eng.Schedule(0, func() { h.nw.MulticastSet(0, set, "m") })
+	h.eng.Run()
+	if len(h.got) != 3 {
+		t.Fatalf("got %d deliveries, want 3", len(h.got))
+	}
+	for _, d := range h.got {
+		if d.to != 0 && d.to != 2 && d.to != 4 {
+			t.Fatalf("delivered to non-member %d", d.to)
+		}
+	}
+	if at := h.deliveriesTo(0)[0].at; at != ms(0) {
+		t.Fatalf("local copy at %v, want immediate", at)
+	}
+	c := h.nw.Counters()
+	if c.Multicasts != 1 || c.Deliveries != 3 {
+		t.Fatalf("counters = %+v, want 1 multicast, 3 deliveries", c)
+	}
+}
+
+// A non-member sender addresses the set like anyone else and gets no
+// local copy.
+func TestSetMulticastFromNonMember(t *testing.T) {
+	h := newHarness(t, DefaultConfig(4))
+	set := h.nw.RegisterSet([]int{1, 3})
+	h.eng.Schedule(0, func() { h.nw.MulticastSet(0, set, "m") })
+	h.eng.Run()
+	if len(h.got) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(h.got))
+	}
+	for _, d := range h.got {
+		if d.to == 0 {
+			t.Fatalf("non-member sender got a local copy")
+		}
+	}
+}
+
+// On a ring the copy to a far member is relayed through a non-member,
+// which forwards without delivering; only the wires on the pruned branch
+// are occupied.
+func TestSetMulticastRelaysThroughNonMember(t *testing.T) {
+	h := newHarness(t, topoConfig(topo.Ring(5)))
+	set := h.nw.RegisterSet([]int{0, 2})
+	h.eng.Schedule(0, func() { h.nw.MulticastSet(0, set, "m") })
+	h.eng.Run()
+	if len(h.got) != 2 {
+		t.Fatalf("got %d deliveries, want 2 (members only), got %+v", len(h.got), h.got)
+	}
+	// p1 relays: sender CPU + wire + relay in + relay out + wire + p2 CPU.
+	if at := h.deliveriesTo(2)[0].at; at != ms(6) {
+		t.Fatalf("far member delivered at %v, want 6ms via relay", at)
+	}
+	c := h.nw.Counters()
+	if c.WireSlots != 2 {
+		t.Fatalf("WireSlots = %d, want 2 (pruned branch only)", c.WireSlots)
+	}
+}
+
+// A crashed non-member relay loses the member subtree behind it as Lost
+// copies, not Drops — the relay was never a destination.
+func TestSetMulticastCrashedRelayLosesSubtree(t *testing.T) {
+	h := newHarness(t, topoConfig(topo.Ring(5)))
+	set := h.nw.RegisterSet([]int{0, 2})
+	h.nw.Crash(1)
+	h.eng.Schedule(0, func() { h.nw.MulticastSet(0, set, "m") })
+	h.eng.Run()
+	if len(h.got) != 1 || h.got[0].to != 0 {
+		t.Fatalf("deliveries = %+v, want only the local copy", h.got)
+	}
+	c := h.nw.Counters()
+	if c.Drops != 0 || c.Lost != 1 {
+		t.Fatalf("counters = %+v, want 0 drops, 1 lost (member 2 behind dead relay)", c)
+	}
+}
+
+// A crashed member drops its own copy and loses the rest of its subtree.
+func TestSetMulticastCrashedMember(t *testing.T) {
+	h := newHarness(t, topoConfig(topo.Ring(5)))
+	set := h.nw.RegisterSet([]int{0, 1, 2})
+	h.nw.Crash(1)
+	h.eng.Schedule(0, func() { h.nw.MulticastSet(0, set, "m") })
+	h.eng.Run()
+	c := h.nw.Counters()
+	if c.Drops != 1 || c.Lost != 1 {
+		t.Fatalf("counters = %+v, want 1 drop (member 1) + 1 lost (member 2 behind it)", c)
+	}
+}
+
+// countedPayload tracks its reference count for leak assertions.
+type countedPayload struct{ refs, releases int }
+
+func (c *countedPayload) Retain(n int) { c.refs += n }
+func (c *countedPayload) Release()     { c.refs--; c.releases++ }
+
+// Pooled payloads addressed to a set are retained once per member copy
+// and fully released when every copy lands, including when relays and
+// crashes kill part of the tree.
+func TestSetMulticastPooledBalance(t *testing.T) {
+	for name, crash := range map[string]int{"all-live": -1, "dead-relay": 1, "dead-member": 2} {
+		h := newHarness(t, topoConfig(topo.Ring(5)))
+		set := h.nw.RegisterSet([]int{0, 2, 3})
+		if crash >= 0 {
+			h.nw.Crash(crash)
+		}
+		p := &countedPayload{}
+		h.eng.Schedule(0, func() { h.nw.MulticastSet(0, set, p) })
+		h.eng.Run()
+		if p.refs != 0 {
+			t.Fatalf("%s: payload refs = %d after run, want 0 (releases %d)", name, p.refs, p.releases)
+		}
+		if p.releases == 0 {
+			t.Fatalf("%s: payload never retained/released", name)
+		}
+	}
+}
+
+// A set whose only member is the sender delivers locally and touches no
+// wire; a set multicast from a crashed process goes nowhere.
+func TestSetMulticastDegenerateCases(t *testing.T) {
+	h := newHarness(t, DefaultConfig(3))
+	solo := h.nw.RegisterSet([]int{0})
+	h.eng.Schedule(0, func() { h.nw.MulticastSet(0, solo, "m") })
+	h.eng.Run()
+	if len(h.got) != 1 || h.got[0].to != 0 || h.nw.Counters().WireSlots != 0 {
+		t.Fatalf("solo set: deliveries %+v, counters %+v", h.got, h.nw.Counters())
+	}
+
+	h2 := newHarness(t, DefaultConfig(3))
+	pair := h2.nw.RegisterSet([]int{1, 2})
+	h2.nw.Crash(0)
+	p := &countedPayload{}
+	h2.eng.Schedule(0, func() { h2.nw.MulticastSet(0, pair, p) })
+	h2.eng.Run()
+	if len(h2.got) != 0 {
+		t.Fatalf("crashed sender delivered: %+v", h2.got)
+	}
+	if p.refs != 0 {
+		t.Fatalf("crashed sender leaked payload refs: %d", p.refs)
+	}
+}

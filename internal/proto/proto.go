@@ -338,6 +338,18 @@ func (p *Proc) Multicast(payload any) {
 	p.sys.Net.Multicast(int(p.id), payload)
 }
 
+// MulticastSet transmits payload to the members of a destination set
+// registered with the network (netmodel.Network.RegisterSet), honouring
+// crash semantics like Multicast. Group runtimes use it to disseminate
+// within one group only.
+func (p *Proc) MulticastSet(set netmodel.SetID, payload any) {
+	if p.crashed {
+		netmodel.Discard(payload)
+		return
+	}
+	p.sys.Net.MulticastSet(int(p.id), set, payload)
+}
+
 // After implements Runtime. The callback is dropped if the process has
 // crashed, or its handler incarnation has been replaced by a recovery, by
 // the time it fires.

@@ -216,6 +216,105 @@ func compileOrigin(rt *Routing, adjs [][]adjEdge, o int32, parent, parentWire []
 	rt.Reach[o] = int32(len(order) - 1)
 }
 
+// SetRouting holds the pruned multicast tables for one destination set:
+// the full topology's per-origin spanning trees with every branch that
+// reaches no set member cut off. A multicast addressed to the set rides
+// these tables — non-member relays still forward (the physical network
+// carries the copy) but only members count as destinations.
+type SetRouting struct {
+	// Member[v] reports set membership.
+	Member []bool
+	// Tree[o][u] is the pruned transmit-group table: only children whose
+	// subtree contains at least one member survive, in the full tree's
+	// (wire, dst) order.
+	Tree [][][]TxGroup
+	// Sub[o][v] counts the set members in v's subtree of o's tree,
+	// including v itself when it is a member: the member copies that die
+	// if v's copy is lost.
+	Sub [][]int32
+	// Reach[o] counts the members reachable from o, excluding o — the
+	// number of remote copies a set multicast from o creates.
+	Reach []int32
+}
+
+// PruneSet derives the pruned multicast tables for a destination set
+// from the compiled full trees. It panics on out-of-range or duplicated
+// members — the set is code, not input.
+func (r *Routing) PruneSet(members []int) *SetRouting {
+	n := r.N
+	member := make([]bool, n)
+	for _, p := range members {
+		if p < 0 || p >= n {
+			panic(fmt.Sprintf("topo: set member %d out of range 0..%d", p, n-1))
+		}
+		if member[p] {
+			panic(fmt.Sprintf("topo: set member %d listed twice", p))
+		}
+		member[p] = true
+	}
+	sr := &SetRouting{
+		Member: member,
+		Tree:   make([][][]TxGroup, n),
+		Sub:    make([][]int32, n),
+		Reach:  make([]int32, n),
+	}
+	subSlab := make([]int32, n*n)
+	parent := make([]int32, n)
+	order := make([]int32, 0, n)
+	for o := 0; o < n; o++ {
+		sub := subSlab[o*n : (o+1)*n]
+		// Recover o's tree structure (parents and a top-down order) by
+		// walking the compiled full tree from o.
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[o] = int32(o)
+		order = append(order[:0], int32(o))
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			for _, g := range r.Tree[o][u] {
+				for _, v := range g.Dsts {
+					parent[v] = u
+					order = append(order, v)
+				}
+			}
+		}
+		// Member counts bottom-up over the reverse of the top-down order.
+		for _, v := range order {
+			if member[v] {
+				sub[v] = 1
+			}
+		}
+		for i := len(order) - 1; i > 0; i-- {
+			v := order[i]
+			sub[parent[v]] += sub[v]
+		}
+		sr.Sub[o] = sub
+		sr.Reach[o] = sub[o]
+		if member[o] {
+			sr.Reach[o]--
+		}
+		// Pruned transmit groups: keep children whose subtree holds a
+		// member, preserving the full tree's group and destination order.
+		tree := make([][]TxGroup, n)
+		for _, u := range order {
+			for _, g := range r.Tree[o][u] {
+				var kept []int32
+				for _, v := range g.Dsts {
+					if sub[v] > 0 {
+						kept = append(kept, v)
+					}
+				}
+				if len(kept) > 0 {
+					tree[u] = append(tree[u], TxGroup{Wire: g.Wire, Dsts: kept})
+				}
+			}
+		}
+		sr.Tree[o] = tree
+	}
+	return sr
+}
+
 // String summarises the topology for headers and diagnostics.
 func (t *Topology) String() string {
 	return fmt.Sprintf("%s (n=%d, %d wires, %d edges)", t.Name, t.N, len(t.Wires), len(t.Edges))

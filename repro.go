@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/fd"
+	"repro/internal/groups"
 	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -389,3 +390,54 @@ func Clique(n int) *Topology { return topo.Clique(n) }
 // through per-site gateways. The topology's SiteCut method and the
 // FaultPlan's PartitionSites constructor cut it along the WAN.
 func Geo(cfg GeoConfig) *Topology { return topo.Geo(cfg) }
+
+// GroupMap assigns the N processes to (possibly overlapping) ordered
+// process groups, generalizing atomic broadcast to genuine atomic
+// multicast: each group runs its own protocol stack, a message is
+// disseminated only to its destination groups, and multi-group messages
+// are merged into one total order by a deterministic timestamp protocol
+// at the destinations. Carry one on Config.Groups, Sweep.GroupMaps or
+// ClusterConfig.Groups; nil (or any single-group map covering everyone)
+// is bit-identical to the paper's one-group broadcast path. Build one
+// with a generator below or NewGroupMap; see internal/groups for the
+// ordering protocol.
+type GroupMap = groups.GroupMap
+
+// GroupSpec is the compact self-describing form of a GroupMap that trace
+// headers embed, so a replayed trace rebuilds the exact map.
+type GroupSpec = groups.Spec
+
+// NewGroupMap builds a GroupMap from explicit member lists, one per
+// group. Every process must belong to at least one group. It panics on
+// invalid input.
+func NewGroupMap(n int, members [][]int) *GroupMap {
+	ms := make([][]proto.PID, len(members))
+	for g, ps := range members {
+		ms[g] = make([]proto.PID, len(ps))
+		for i, p := range ps {
+			ms[g][i] = proto.PID(p)
+		}
+	}
+	return groups.New(n, ms)
+}
+
+// Disjoint partitions n processes into k equal (±1) disjoint groups —
+// the pure sharding end of the overlap spectrum.
+func Disjoint(n, k int) *GroupMap { return groups.Disjoint(n, k) }
+
+// Chained builds k groups where each adjacent pair shares exactly one
+// bridge process — the sparse-overlap middle of the spectrum.
+func Chained(n, k int) *GroupMap { return groups.Chained(n, k) }
+
+// CliqueOverlap builds k groups all sharing process 0 as a common hub —
+// the dense-overlap end of the spectrum.
+func CliqueOverlap(n, k int) *GroupMap { return groups.CliqueOverlap(n, k) }
+
+// GroupsFromSites derives a GroupMap from a Geo topology: one group per
+// site, containing exactly that site's processes.
+func GroupsFromSites(t *Topology) *GroupMap { return groups.FromSites(t) }
+
+// ShardMix is the LoadPlan event setting the cross-shard traffic
+// fraction mid-run (groups mode only); the plan's Mix helper appends
+// one.
+type ShardMix = experiment.ShardMix
