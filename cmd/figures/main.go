@@ -37,11 +37,52 @@ var (
 	progFlag    = flag.Bool("progress", false, "report replication progress on stderr")
 	traceFlag   = flag.String("trace", "", "write the smoke grid's replayable trace to this file (fig smoke)")
 	replayFlag  = flag.String("replay", "", "replay a trace file, verify delivery digests and exit")
+	// -parallel flips every simulation into the engine's parallel
+	// execution mode (conflict domains advanced concurrently inside safe
+	// windows); all output, digests included, is bit-identical to serial.
+	parallelFlag   = flag.Bool("parallel", false, "execute each simulation's conflict domains concurrently (bit-identical output)")
+	simWorkersFlag = flag.Int("simworkers", 0, "worker goroutines per parallel simulation (0 = one per CPU)")
 )
 
 // runner fans every figure's (point, replication) grid out over a worker
 // pool; results are bit-identical at any worker count.
 var runner *repro.Runner
+
+// par stamps the -parallel/-simworkers flags onto a config. The
+// steady/sweepRun/transient wrappers below route every figure through
+// it, so the one flag flips the whole binary; the flags never change
+// output, only how each replication spends its wall-clock time.
+func par(cfg repro.Config) repro.Config {
+	cfg.ParallelSim = *parallelFlag
+	cfg.SimWorkers = *simWorkersFlag
+	return cfg
+}
+
+func steady(cfg repro.Config) repro.Result { return runner.Steady(par(cfg)) }
+
+func steadyAll(cfgs []repro.Config) []repro.Result {
+	for i := range cfgs {
+		cfgs[i] = par(cfgs[i])
+	}
+	return runner.SteadyAll(cfgs)
+}
+
+func sweepRun(s repro.Sweep) []repro.Result {
+	s.Base = par(s.Base)
+	return runner.Sweep(s)
+}
+
+func transientAll(cfgs []repro.TransientConfig) []repro.TransientResult {
+	for i := range cfgs {
+		cfgs[i].Config = par(cfgs[i].Config)
+	}
+	return runner.TransientAll(cfgs)
+}
+
+func worstCaseTransient(cfg repro.TransientConfig, sweepCrash bool) repro.TransientResult {
+	cfg.Config = par(cfg.Config)
+	return runner.WorstCaseTransient(cfg, sweepCrash)
+}
 
 func main() {
 	flag.Parse()
@@ -182,7 +223,7 @@ func fig1() {
 				cfg := steadyCfg(alg, n, thr)
 				cfg.Measure = 3 * time.Second
 				cfg.Replications = 1
-				res := runner.Steady(cfg)
+				res := steady(cfg)
 				lats[alg] = res.PerMessage.Mean
 				// Wire counts come from a dedicated cluster run with the
 				// same arrivals.
@@ -216,7 +257,7 @@ func fig4() {
 				Algorithms: []repro.Algorithm{repro.FD, repro.GM},
 			}.Points()...)
 		}
-		res := runner.SteadyAll(cfgs)
+		res := steadyAll(cfgs)
 		for i, thr := range thrs {
 			fmt.Printf("%.0f\t%s\t%s\n", thr, cell(res[2*i]), cell(res[2*i+1]))
 		}
@@ -259,7 +300,7 @@ func fig5() {
 				CrashSets:  sets,
 			}.Points()...)
 		}
-		res := runner.SteadyAll(cfgs)
+		res := steadyAll(cfgs)
 		// Each throughput's block comes back in canonical sweep order:
 		// all FD crash-sets, then all GM crash-sets.
 		block := 2 * len(sets)
@@ -293,7 +334,7 @@ func fig6() {
 		for _, tmr := range tmrs {
 			qos = append(qos, repro.Detectors(0, tmr, 0))
 		}
-		res := runner.Sweep(repro.Sweep{
+		res := sweepRun(repro.Sweep{
 			Base:       steadyCfg(repro.FD, panel.n, panel.thr),
 			Algorithms: []repro.Algorithm{repro.FD, repro.GM},
 			QoS:        qos,
@@ -325,7 +366,7 @@ func fig7() {
 		for _, tm := range tms {
 			qos = append(qos, repro.Detectors(0, panel.tmr, tm))
 		}
-		res := runner.Sweep(repro.Sweep{
+		res := sweepRun(repro.Sweep{
 			Base:       steadyCfg(repro.FD, panel.n, panel.thr),
 			Algorithms: []repro.Algorithm{repro.FD, repro.GM},
 			QoS:        qos,
@@ -382,12 +423,12 @@ func fig8() {
 			for i := range cfgs {
 				cfgs[i].Sender = 1
 			}
-			results = runner.TransientAll(cfgs)
+			results = transientAll(cfgs)
 		} else {
 			// Full mode worst-cases each point over senders; each call
 			// already fans its sender x replication grid out.
 			for _, cfg := range cfgs {
-				results = append(results, runner.WorstCaseTransient(cfg, false))
+				results = append(results, worstCaseTransient(cfg, false))
 			}
 		}
 		i := 0
@@ -425,7 +466,7 @@ func ablations() {
 		offCfg.DisableRenumber = true
 		cfgsA = append(cfgsA, onCfg, offCfg)
 	}
-	resA := runner.SteadyAll(cfgsA)
+	resA := steadyAll(cfgsA)
 	for i, thr := range thrsA {
 		fmt.Printf("%.0f\t%s\t%s\n", thr, cell(resA[2*i]), cell(resA[2*i+1]))
 	}
@@ -443,7 +484,7 @@ func ablations() {
 			Algorithms: []repro.Algorithm{repro.GM, repro.GMNonUniform},
 		}.Points()...)
 	}
-	resB := runner.SteadyAll(cfgsB)
+	resB := steadyAll(cfgsB)
 	for i, thr := range thrsB {
 		fmt.Printf("%.0f\t%s\t%s\n", thr, cell(resB[2*i]), cell(resB[2*i+1]))
 	}
@@ -454,7 +495,7 @@ func ablations() {
 	fmt.Println("# Ablation C: lambda sweep, normal-steady, n=3, throughput=100/s")
 	fmt.Println("# lambda\tFD_lat(ms)\tci")
 	lambdas := []float64{0.5, 1, 2, 4}
-	resC := runner.Sweep(repro.Sweep{
+	resC := sweepRun(repro.Sweep{
 		Base:    steadyCfg(repro.FD, 3, 100),
 		Lambdas: lambdas,
 	})
@@ -494,7 +535,7 @@ func figDist() {
 	for _, tmr := range tmrs {
 		qos = append(qos, repro.Detectors(0, tmr, 0))
 	}
-	res := runner.Sweep(repro.Sweep{
+	res := sweepRun(repro.Sweep{
 		Base:       steadyCfg(repro.FD, n, thr),
 		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
 		QoS:        qos,
@@ -548,7 +589,7 @@ func figDist() {
 			})
 		}
 	}
-	tres := runner.TransientAll(cfgs)
+	tres := transientAll(cfgs)
 	for i, thr := range thrs {
 		fmt.Printf("%.0f\t%s\t%s\n", thr,
 			qcell(tres[2*i].Quantiles, tres[2*i].Quantiles.N > 0),
@@ -578,7 +619,7 @@ func figHeartbeat() {
 			Detectors: detectors,
 		}.Points()...)
 	}
-	res := runner.SteadyAll(cfgs)
+	res := steadyAll(cfgs)
 	for ti, thr := range thrs {
 		for di, name := range names {
 			r := res[ti*len(detectors)+di]
@@ -688,7 +729,7 @@ func figOverload() {
 			Loads:      []*repro.LoadPlan{nil, load},
 		}.Points()...)
 	}
-	res := runner.SteadyAll(cfgs)
+	res := steadyAll(cfgs)
 	for i, r := range res {
 		faults, loadName := "none", "none"
 		if r.Config.Plan != nil {
@@ -750,7 +791,7 @@ func figBurst() {
 			Loads:      []*repro.LoadPlan{nil, load},
 		}.Points()...)
 	}
-	res := runner.SteadyAll(cfgs)
+	res := steadyAll(cfgs)
 	for i, r := range res {
 		loadName := "steady"
 		if r.Config.Load != nil {
@@ -803,7 +844,7 @@ func planFigure(header []string, n int, plan *repro.FaultPlan, label string) {
 			Plans:      []*repro.FaultPlan{nil, plan},
 		}.Points()...)
 	}
-	res := runner.SteadyAll(cfgs)
+	res := steadyAll(cfgs)
 	for i, r := range res {
 		name := "none"
 		if r.Config.Plan != nil {
@@ -864,7 +905,7 @@ func figSmoke() {
 		},
 		Detectors: []*repro.HeartbeatConfig{nil, repro.HeartbeatDetector(10, 30)},
 	}
-	res := runner.Sweep(sweep)
+	res := sweepRun(sweep)
 	fmt.Println("# Smoke grid: FD n=3 T=50/s seed=1, QoS model (point 0) vs heartbeat 10/30ms (point 1)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages")
 	for i, r := range res {
@@ -902,7 +943,7 @@ func figSmoke() {
 		},
 		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
 	}
-	planRes := runner.Sweep(planSweep)
+	planRes := sweepRun(planSweep)
 	fmt.Println("# Plan grid: partition {0 1}|{2} at 600ms, heal at 900ms; FD (point 0) vs GM (point 1)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
 	for i, r := range planRes {
@@ -941,7 +982,7 @@ func figSmoke() {
 		},
 		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
 	}
-	loadRes := runner.Sweep(loadSweep)
+	loadRes := sweepRun(loadSweep)
 	fmt.Println("# Load grid: 4x burst 400..600ms + mute p2 600..900ms; FD (point 0) vs GM (point 1)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
 	for i, r := range loadRes {
@@ -980,7 +1021,7 @@ func figSmoke() {
 		},
 		Algorithms: []repro.Algorithm{repro.FD, repro.GM},
 	}
-	outageRes := runner.Sweep(outageSweep)
+	outageRes := sweepRun(outageSweep)
 	fmt.Println("# Outage grid: crash p2 at 300ms, recover at 1300ms, T=150/s; FD (point 0) vs GM (point 1)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
 	for i, r := range outageRes {
@@ -1018,7 +1059,7 @@ func figSmoke() {
 		},
 		GroupMaps: []*repro.GroupMap{repro.Disjoint(6, 2), repro.Disjoint(6, 3), repro.Chained(6, 3)},
 	}
-	groupRes := runner.Sweep(groupSweep)
+	groupRes := sweepRun(groupSweep)
 	fmt.Println("# Group grid: n=6 T=60/s cross-shard=0.25; disjoint/2 (point 0), disjoint/3 (point 1), chained/3 (point 2)")
 	fmt.Println("# point\tmean(ms)\tP50\tP90\tP99\tmessages\tundelivered")
 	for i, r := range groupRes {

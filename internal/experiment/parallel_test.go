@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/groups"
+	"repro/internal/netmodel"
+	"repro/internal/proto"
+	"repro/internal/topo"
+)
+
+// The experiment-level parallel-execution contract: with ParallelSim
+// enabled, every observable of a run — each delivery (process, id,
+// instant) in order, each broadcast, the latency distributions — is
+// bit-identical to the serial engine, at any worker count, on
+// multi-domain topologies, under fault plans that cross domains, and
+// including a SetLink whose extra delay shrinks mid-run (the delay acts
+// on the destination side of the wire handoff, so it may drop below the
+// lookahead without violating the window invariant).
+
+// deliveryRecorder captures every delivery of one replication in order.
+type deliveryRecorder struct{ sink *[]Delivery }
+
+func (r *deliveryRecorder) ObserveDelivery(d Delivery) { *r.sink = append(*r.sink, d) }
+
+// runRecorded executes a steady experiment with one recorder per
+// replication (replications run serially so recording order is the
+// replication order) and returns the per-replication delivery logs.
+func runRecorded(cfg Config) ([][]Delivery, Result) {
+	cfg = cfg.withDefaults()
+	recs := make([][]Delivery, cfg.Replications)
+	cfg.Observers = append(cfg.Observers, func(point, rep int, _ Config) Observer {
+		return &deliveryRecorder{sink: &recs[rep]}
+	})
+	r := Runner{Workers: 1}
+	return recs, r.Steady(cfg)
+}
+
+func requireSameRuns(t *testing.T, name string, wantRecs, gotRecs [][]Delivery, want, got Result) {
+	t.Helper()
+	if len(gotRecs) != len(wantRecs) {
+		t.Fatalf("%s: %d replications, serial %d", name, len(gotRecs), len(wantRecs))
+	}
+	for rep := range wantRecs {
+		w, g := wantRecs[rep], gotRecs[rep]
+		if len(g) != len(w) {
+			t.Fatalf("%s rep %d: %d deliveries, serial %d", name, rep, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s rep %d: delivery %d = %+v, serial %+v", name, rep, i, g[i], w[i])
+			}
+		}
+	}
+	if got.Messages != want.Messages || got.Undelivered != want.Undelivered || got.Stable != want.Stable {
+		t.Fatalf("%s: result (%d msg, %d undelivered, stable=%v), serial (%d, %d, %v)",
+			name, got.Messages, got.Undelivered, got.Stable,
+			want.Messages, want.Undelivered, want.Stable)
+	}
+	wv, gv := want.Dist.Values(), got.Dist.Values()
+	if len(wv) != len(gv) {
+		t.Fatalf("%s: %d pooled latencies, serial %d", name, len(gv), len(wv))
+	}
+	for i := range wv {
+		if math.Float64bits(wv[i]) != math.Float64bits(gv[i]) {
+			t.Fatalf("%s: latency %d = %v, serial %v", name, i, gv[i], wv[i])
+		}
+	}
+}
+
+// TestParallelSimMatchesSerial cross-checks serial and parallel
+// execution delivery for delivery on genuinely multi-domain topologies:
+// the one-way ring (n conflict domains, lookahead one wire slot) plain,
+// under a crash, under suspicion bursts, and under a link fault whose
+// extra delay shrinks and then clears mid-run.
+func TestParallelSimMatchesSerial(t *testing.T) {
+	base := Config{
+		N:            7,
+		Topology:     topo.OneWayRing(7),
+		Throughput:   60,
+		Warmup:       100 * time.Millisecond,
+		Measure:      800 * time.Millisecond,
+		Drain:        8 * time.Second,
+		Replications: 2,
+		Seed:         11,
+	}
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"fd-plain", func(c *Config) {
+			c.Algorithm = FD
+			c.QoS = fd.QoS{TD: 10 * time.Millisecond}
+		}},
+		{"gm-suspicions", func(c *Config) {
+			c.Algorithm = GM
+			c.QoS = fd.QoS{TMR: 600 * time.Millisecond, TM: 15 * time.Millisecond}
+		}},
+		{"fd-crash-recover", func(c *Config) {
+			c.Algorithm = FD
+			c.QoS = fd.QoS{TD: 10 * time.Millisecond}
+			c.Plan = new(FaultPlan).
+				Crash(300*time.Millisecond, 4).
+				Recover(600*time.Millisecond, 4)
+		}},
+		{"gm-shrinking-link-delay", func(c *Config) {
+			c.Algorithm = GM
+			c.QoS = fd.QoS{TD: 10 * time.Millisecond}
+			// The extra delay starts above the lookahead (1 ms wire
+			// slot), shrinks below it mid-run, then clears: correctness
+			// must not depend on the delay's relation to the window.
+			c.Plan = new(FaultPlan).
+				Link(200*time.Millisecond, 2, 3, 0, 5*time.Millisecond).
+				Link(450*time.Millisecond, 2, 3, 0, 400*time.Microsecond).
+				Link(700*time.Millisecond, 2, 3, 0, 0)
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		wantRecs, want := runRecorded(cfg)
+		if want.Messages == 0 {
+			t.Fatalf("%s: serial run measured nothing", tc.name)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			pcfg := cfg
+			pcfg.ParallelSim = true
+			pcfg.SimWorkers = workers
+			gotRecs, got := runRecorded(pcfg)
+			requireSameRuns(t, tc.name, wantRecs, gotRecs, want, got)
+		}
+	}
+}
+
+// TestParallelSimSingleDomainTopologies pins the trivial-partition path:
+// shared-wire topologies collapse to one conflict domain, and a
+// parallel run over them must still be bit-identical (it exercises the
+// window/commit machinery with concurrency degree one).
+func TestParallelSimSingleDomainTopologies(t *testing.T) {
+	cfg := Config{
+		Algorithm:    GMNonUniform,
+		N:            5,
+		Throughput:   60,
+		Warmup:       100 * time.Millisecond,
+		Measure:      500 * time.Millisecond,
+		Drain:        5 * time.Second,
+		Replications: 2,
+		Seed:         5,
+	}
+	wantRecs, want := runRecorded(cfg)
+	pcfg := cfg
+	pcfg.ParallelSim = true
+	pcfg.SimWorkers = 4
+	gotRecs, got := runRecorded(pcfg)
+	requireSameRuns(t, "fullmesh", wantRecs, gotRecs, want, got)
+}
+
+// TestParallelSimGroupsSerialised pins the gating rule: groups mode
+// with cross-shard mixing draws from a shared stream, so the builder
+// forces a single domain — and the run stays bit-identical to serial.
+func TestParallelSimGroupsSerialised(t *testing.T) {
+	m := groups.Disjoint(6, 2)
+	cfg := Config{
+		Algorithm:    FD,
+		N:            6,
+		Groups:       m,
+		CrossShard:   0.3,
+		QoS:          fd.QoS{TD: 10 * time.Millisecond},
+		Throughput:   60,
+		Warmup:       100 * time.Millisecond,
+		Measure:      500 * time.Millisecond,
+		Drain:        5 * time.Second,
+		Replications: 2,
+		Seed:         9,
+	}
+	wantRecs, want := runRecorded(cfg)
+	pcfg := cfg
+	pcfg.ParallelSim = true
+	pcfg.SimWorkers = 4
+	gotRecs, got := runRecorded(pcfg)
+	requireSameRuns(t, "groups-mixed", wantRecs, gotRecs, want, got)
+}
+
+// TestParallelSimGroupsMultiDomain runs groups mode where parallelism is
+// genuinely reachable: disjoint shards on a one-way ring with no
+// cross-shard mixing partition into one conflict domain per shard.
+func TestParallelSimGroupsMultiDomain(t *testing.T) {
+	m := groups.Disjoint(6, 2)
+	cfg := Config{
+		Algorithm:    FD,
+		N:            6,
+		Topology:     topo.OneWayRing(6),
+		Groups:       m,
+		QoS:          fd.QoS{TD: 10 * time.Millisecond},
+		Throughput:   60,
+		Warmup:       100 * time.Millisecond,
+		Measure:      500 * time.Millisecond,
+		Drain:        5 * time.Second,
+		Replications: 2,
+		Seed:         13,
+	}
+	wantRecs, want := runRecorded(cfg)
+	if want.Messages == 0 {
+		t.Fatal("serial run measured nothing")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		pcfg := cfg
+		pcfg.ParallelSim = true
+		pcfg.SimWorkers = workers
+		gotRecs, got := runRecorded(pcfg)
+		requireSameRuns(t, "groups-multidomain", wantRecs, gotRecs, want, got)
+	}
+}
+
+// TestConflictDomainsShapes pins the partitioner's structural results on
+// the generator zoo.
+func TestConflictDomainsShapes(t *testing.T) {
+	mk := func(tp *topo.Topology) netmodel.Config {
+		return netmodel.Config{N: tp.N, Lambda: time.Millisecond, Slot: time.Millisecond, Topology: tp}
+	}
+	countDomains := func(domainOf []int) int {
+		max := 0
+		for _, d := range domainOf {
+			if d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	for _, tc := range []struct {
+		tp   *topo.Topology
+		want int
+	}{
+		{topo.FullMesh(7), 1},
+		{topo.Ring(8), 1},
+		{topo.Star(5), 1},
+		{topo.Clique(4), 1},
+		{topo.Geo(topo.GeoConfig{Sites: 3, PerSite: 3}), 1},
+		{topo.OneWayRing(6), 6},
+		{topo.OneWayRing(2), 2},
+	} {
+		domainOf, lookahead := netmodel.ConflictDomains(mk(tc.tp), nil)
+		if got := countDomains(domainOf); got != tc.want {
+			t.Fatalf("%s: %d domains, want %d", tc.tp.Name, got, tc.want)
+		}
+		if tc.want > 1 && lookahead != 1_000_000 { // 1 ms slot, zero delay
+			t.Fatalf("%s: lookahead %d, want 1ms", tc.tp.Name, lookahead)
+		}
+	}
+	// A lossy wire collapses everything into one domain.
+	lossyRing := topo.OneWayRing(5)
+	lossyRing.Wires[2].Loss = 0.1
+	domainOf, _ := netmodel.ConflictDomains(mk(lossyRing), nil)
+	if got := countDomains(domainOf); got != 1 {
+		t.Fatalf("lossy one-way ring: %d domains, want 1", got)
+	}
+	// Groups-mode shard membership merges domains.
+	domainOf, _ = netmodel.ConflictDomains(mk(topo.OneWayRing(6)), [][]int{{0, 1, 2}, {3, 4, 5}})
+	if got := countDomains(domainOf); got != 2 {
+		t.Fatalf("sharded one-way ring: %d domains, want 2", got)
+	}
+	for p, want := range []int{0, 0, 0, 1, 1, 1} {
+		if domainOf[p] != want {
+			t.Fatalf("sharded one-way ring: domainOf[%d] = %d, want %d", p, domainOf[p], want)
+		}
+	}
+	// Transient proto.PID reference keeps the import honest if the golden
+	// helpers above change.
+	_ = proto.PID(0)
+}

@@ -74,7 +74,6 @@ type Coordinator struct {
 	sets    []netmodel.SetID
 	pre     []bool // pre-crashed processes, for initial memberships
 	routers []*Router
-	envFree []*envelope
 }
 
 // NewCoordinator registers one netmodel destination set per group and
@@ -109,21 +108,23 @@ func (c *Coordinator) Router(p proto.PID) *Router { return c.routers[p] }
 
 // envelope wraps a group instance's payload for transit, naming the
 // group so the receiving router can dispatch it. Envelopes are pooled
-// and delegate reference counts to the wrapped payload, so the
-// protocols' pooled messages keep their recycling discipline.
+// per sending router — a domain-local free list, so concurrent group
+// domains under the parallel engine never contend — and delegate
+// reference counts to the wrapped payload, so the protocols' pooled
+// messages keep their recycling discipline.
 type envelope struct {
-	coord *Coordinator
+	home  *Router
 	gid   int32
 	refs  int32
 	inner any
 }
 
-func (c *Coordinator) wrap(gid int, inner any) *envelope {
+func (r *Router) wrap(gid int, inner any) *envelope {
 	var e *envelope
-	if n := len(c.envFree); n > 0 {
-		e, c.envFree = c.envFree[n-1], c.envFree[:n-1]
+	if n := len(r.envFree); n > 0 {
+		e, r.envFree = r.envFree[n-1], r.envFree[:n-1]
 	} else {
-		e = &envelope{coord: c}
+		e = &envelope{home: r}
 	}
 	e.gid, e.inner, e.refs = int32(gid), inner, 0
 	return e
@@ -145,7 +146,7 @@ func (e *envelope) Release() {
 	}
 	if e.refs--; e.refs == 0 {
 		e.inner = nil
-		e.coord.envFree = append(e.coord.envFree, e)
+		e.home.envFree = append(e.home.envFree, e)
 	}
 }
 
@@ -226,10 +227,10 @@ func (g *groupRuntime) N() int          { return len(g.inst.members) }
 func (g *groupRuntime) Now() sim.Time   { return g.r.proc.Now() }
 func (g *groupRuntime) Rand() *sim.Rand { return g.r.proc.Rand() }
 func (g *groupRuntime) Send(to proto.PID, payload any) {
-	g.r.proc.Send(g.inst.members[to], g.r.coord.wrap(g.inst.gid, payload))
+	g.r.proc.Send(g.inst.members[to], g.r.wrap(g.inst.gid, payload))
 }
 func (g *groupRuntime) Multicast(payload any) {
-	g.r.proc.MulticastSet(g.inst.set, g.r.coord.wrap(g.inst.gid, payload))
+	g.r.proc.MulticastSet(g.inst.set, g.r.wrap(g.inst.gid, payload))
 }
 func (g *groupRuntime) After(d time.Duration, fn func()) proto.Timer { return g.r.proc.After(d, fn) }
 func (g *groupRuntime) Suspects(q proto.PID) bool {
@@ -283,6 +284,8 @@ type Router struct {
 	pend   map[proto.MsgID]*pending
 	order  []*pending             // deterministic iteration (insertion order)
 	done   map[proto.MsgID]uint64 // a-delivered ids -> final timestamp
+
+	envFree []*envelope // domain-local envelope pool (see wrap)
 
 	stallArmed bool
 }

@@ -1,0 +1,148 @@
+package netmodel
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// ConflictDomains partitions the processes of a topology into conflict
+// domains for sim.EnableParallel, and computes the matching lookahead.
+// Two processes land in the same domain whenever the transmission model
+// could touch shared mutable state on their behalf inside a window:
+//
+//   - all senders over one wire share its busy-until horizon
+//     (throughWire reserves the wire from the transmitting hop's
+//     domain), so every edge source of a wire is merged;
+//   - a wire whose resolved cost (slot + propagation delay) is zero
+//     cannot clear any positive lookahead, so its endpoints are merged
+//     and its hops become domain-local;
+//   - every destination set of a multicast tree segment is reached by
+//     one fan-out event executing in a single domain, so the segment's
+//     destinations are merged (the unicast next hop is a one-element
+//     case of this, and pruned set trees are subsets of the full
+//     trees);
+//   - the optional groups argument lists process sets that share
+//     protocol-layer state outside the network — the shard memberships
+//     of groups mode, whose router instances exchange envelopes and
+//     pool state; each set is merged.
+//
+// A topology with a lossy wire collapses to a single domain: loss draws
+// from one shared random stream at every affected handoff, and the draw
+// order must match serial execution exactly. (Dynamic per-link loss via
+// SetLink is the experiment layer's concern — it forces a single domain
+// before construction, and SetLink panics if that gate is bypassed.)
+//
+// The returned lookahead is the minimum resolved cost over wires that
+// carry a cross-domain edge — the cheapest possible cross-domain
+// interaction, which is exactly the safe-window bound EnableParallel
+// needs — or math.MaxInt64 when every edge is domain-local (including
+// the single-domain case, where windows are unbounded).
+//
+// domainOf uses compact ids in order of first appearance, so domain 0
+// always contains process 0.
+func ConflictDomains(cfg Config, groups [][]int) (domainOf []int, lookahead sim.Time) {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	t := cfg.Topology
+	if t == nil {
+		t = topo.SharedFullMesh(cfg.N)
+	}
+	n := cfg.N
+	parent := make([]int, n)
+	for p := range parent {
+		parent[p] = p
+	}
+	var find func(int) int
+	find = func(p int) int {
+		for parent[p] != p {
+			parent[p] = parent[parent[p]]
+			p = parent[p]
+		}
+		return p
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	lossy := false
+	wireCost := make([]sim.Time, len(t.Wires))
+	for i, w := range t.Wires {
+		slot := w.Slot
+		if slot == 0 {
+			slot = cfg.Slot
+		}
+		wireCost[i] = sim.Time(slot + w.Delay)
+		if w.Loss > 0 {
+			lossy = true
+		}
+	}
+	if lossy {
+		// One shared loss stream: serial draw order is only preserved
+		// with everything in one domain.
+		return make([]int, n), sim.Time(math.MaxInt64)
+	}
+
+	// Wire contention: all transmitters over a wire share its horizon.
+	// Zero-cost wires additionally pull in their receivers.
+	wireHead := make([]int, len(t.Wires))
+	for i := range wireHead {
+		wireHead[i] = -1
+	}
+	for _, e := range t.Edges {
+		if wireHead[e.Wire] < 0 {
+			wireHead[e.Wire] = e.From
+		} else {
+			union(wireHead[e.Wire], e.From)
+		}
+		if wireCost[e.Wire] <= 0 {
+			union(e.From, e.To)
+		}
+	}
+
+	// Multicast fan-out: one event arrives for all destinations of a
+	// tree segment, so they must be co-domain.
+	rt := t.Routing()
+	for origin := 0; origin < n; origin++ {
+		for node := 0; node < n; node++ {
+			for gi := range rt.Tree[origin][node] {
+				dsts := rt.Tree[origin][node][gi].Dsts
+				for _, d := range dsts[1:] {
+					union(int(dsts[0]), int(d))
+				}
+			}
+		}
+	}
+
+	// Protocol-layer shared state outside the network.
+	for _, g := range groups {
+		for _, p := range g[1:] {
+			union(g[0], p)
+		}
+	}
+
+	domainOf = make([]int, n)
+	id := make(map[int]int, n)
+	for p := 0; p < n; p++ {
+		r := find(p)
+		d, ok := id[r]
+		if !ok {
+			d = len(id)
+			id[r] = d
+		}
+		domainOf[p] = d
+	}
+
+	lookahead = sim.Time(math.MaxInt64)
+	for _, e := range t.Edges {
+		if domainOf[e.From] != domainOf[e.To] && wireCost[e.Wire] < lookahead {
+			lookahead = wireCost[e.Wire]
+		}
+	}
+	return domainOf, lookahead
+}

@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative parallel discrete-event execution.
+//
+// EnableParallel splits one simulation into conflict domains — groups of
+// processes that may share mutable state — and gives each domain its own
+// event queue behind an Engine handle (For). Between global events the
+// run loop opens a window [t, t+lookahead): every event in it is
+// causally independent across domains (a cross-domain effect needs at
+// least one wire traversal, which costs at least the lookahead), so
+// domains drain their windows concurrently. The window barrier then
+// commits: a deterministic merge replays the drained events in the
+// exact order serial execution would have used, assigns the global
+// sequence numbers in that order, flushes deferred emissions (Emit),
+// and delivers cross-domain handoffs (ScheduleMsgOn) into their target
+// queues. Observable behavior — every emission, in order — is therefore
+// bit-identical to the serial engine, at any worker count, including
+// workers=1.
+//
+// Three rules keep that equivalence:
+//
+//   - During a drain, all observable side effects must go through the
+//     owning handle's Emit, and events for another domain through
+//     ScheduleMsgOn. Cross-domain instants must clear the lookahead.
+//   - Events scheduled on the root engine are global barriers: they run
+//     in a serial phase with every domain quiesced and may touch
+//     anything.
+//   - Emit callbacks observe; they must not schedule.
+
+// opEntry is one step of a drained event's replay record: either a
+// deferred emission or a scheduled child event, in original call order.
+// The commit walks these to reproduce the exact serial interleaving of
+// observable output and sequence-number assignment.
+type opEntry struct {
+	fn func()
+	ev *Event
+}
+
+// firedRec records one event a domain executed during the current
+// window, with its slice of the domain's op buffer.
+type firedRec struct {
+	ev             *Event
+	opStart, opEnd int32
+	typed          bool // recycle the record at commit
+}
+
+// parState is the shared coordination state of a parallel engine: the
+// root engine (global events, the authoritative seq counter), one
+// domain engine per conflict domain, and the per-process handle map.
+type parState struct {
+	root       *Engine
+	domains    []*Engine
+	handles    []*Engine
+	lookahead  Time
+	workers    int
+	committing bool
+
+	active   []*Engine // scratch: domains with work this window
+	mergeIdx []int     // scratch: per-domain cursor for the commit merge
+}
+
+// EnableParallel switches the engine to windowed parallel execution.
+// domainOf maps each process to its conflict domain (0..D-1); lookahead
+// is the minimum virtual-time cost of any cross-domain interaction —
+// events less than lookahead apart in different domains are causally
+// independent. workers bounds the goroutines draining domains
+// concurrently (values below 1, or above the domain count, are
+// clamped). It must be called on a fresh engine, before anything is
+// scheduled, so that every component can fetch its domain handle (For)
+// at construction time.
+func (e *Engine) EnableParallel(domainOf []int, lookahead Time, workers int) {
+	if e.par != nil {
+		panic("sim: EnableParallel called twice")
+	}
+	if len(e.heap) > 0 || e.seq != 0 || e.now != 0 {
+		panic("sim: EnableParallel on a running engine")
+	}
+	if len(domainOf) == 0 {
+		panic("sim: EnableParallel with no processes")
+	}
+	nd := 0
+	for p, d := range domainOf {
+		if d < 0 {
+			panic(fmt.Sprintf("sim: process %d in negative domain %d", p, d))
+		}
+		if d >= nd {
+			nd = d + 1
+		}
+	}
+	if lookahead <= 0 {
+		if nd > 1 {
+			panic("sim: EnableParallel needs a positive lookahead for multiple domains")
+		}
+		lookahead = Time(math.MaxInt64)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nd {
+		workers = nd
+	}
+	p := &parState{root: e, lookahead: lookahead, workers: workers}
+	p.domains = make([]*Engine, nd)
+	for i := range p.domains {
+		p.domains[i] = &Engine{par: p}
+	}
+	p.handles = make([]*Engine, len(domainOf))
+	for i, d := range domainOf {
+		p.handles[i] = p.domains[d]
+	}
+	p.mergeIdx = make([]int, nd)
+	e.par = p
+}
+
+// Parallel reports whether EnableParallel was called on this engine (or
+// the root engine of this domain handle).
+func (e *Engine) Parallel() bool { return e.par != nil }
+
+// Domains returns the number of conflict domains, or 1 on a serial
+// engine.
+func (e *Engine) Domains() int {
+	if e.par == nil {
+		return 1
+	}
+	return len(e.par.domains)
+}
+
+// For returns the engine handle owning process p: the engine itself when
+// serial, the process's domain handle when parallel. Components fetch
+// their handle once, at construction, and schedule all per-process work
+// through it; scheduling through a handle is what assigns events to
+// domains.
+func (e *Engine) For(p int) *Engine {
+	if e.par == nil {
+		return e
+	}
+	return e.par.handles[p]
+}
+
+// Emit runs fn immediately in serial execution, and defers it to the
+// window commit in parallel execution, where it runs in exact serial
+// order relative to every other emission. All observable side effects
+// of code running inside a window drain — observer callbacks, trace
+// records, shared counters — must go through the owning handle's Emit.
+// Emit callbacks must not schedule events.
+func (e *Engine) Emit(fn func()) {
+	if e.deferring {
+		e.ops = append(e.ops, opEntry{fn: fn})
+		return
+	}
+	fn()
+}
+
+// Deferring reports whether the engine is currently draining a parallel
+// window, i.e. whether Emit would defer. Callers use it to skip closure
+// construction on the serial fast path.
+func (e *Engine) Deferring() bool { return e.deferring }
+
+// run is the parallel counterpart of Engine.run: alternating serial
+// phases (instants with global events, every domain quiesced) and
+// concurrent windows bounded by the lookahead, until the queues drain
+// past deadline or Stop is called.
+func (p *parState) run(deadline Time) uint64 {
+	root := p.root
+	root.stopped = false
+	var n uint64
+	for !root.stopped {
+		t := Time(math.MaxInt64)
+		for _, d := range p.domains {
+			if len(d.heap) > 0 && d.heap[0].when < t {
+				t = d.heap[0].when
+			}
+		}
+		rootTop := Time(math.MaxInt64)
+		if len(root.heap) > 0 {
+			rootTop = root.heap[0].when
+		}
+		if rootTop < t {
+			t = rootTop
+		}
+		if t == Time(math.MaxInt64) || t > deadline {
+			break
+		}
+		if rootTop == t {
+			// A global event shares this instant: execute the whole
+			// instant serially so same-time domain events interleave
+			// with it in schedule order, exactly as the serial engine
+			// would.
+			n += p.serialInstant(t)
+			continue
+		}
+		w := t + p.lookahead
+		if w < t { // lookahead overflow: unbounded window
+			w = Time(math.MaxInt64)
+		}
+		if rootTop < w {
+			w = rootTop
+		}
+		if deadline < Time(math.MaxInt64) && deadline+1 < w {
+			w = deadline + 1
+		}
+		n += p.window(w)
+	}
+	return n
+}
+
+// serialInstant executes every event at instant t, across the root and
+// all domain queues, in global schedule order with immediate effects —
+// the classic serial semantics. Global events may touch any domain's
+// state here: every domain is quiesced and at the same clock.
+func (p *parState) serialInstant(t Time) uint64 {
+	p.root.setNow(t)
+	var n uint64
+	for !p.root.stopped {
+		best := p.root
+		if len(best.heap) == 0 || best.heap[0].when != t {
+			best = nil
+		}
+		for _, d := range p.domains {
+			if len(d.heap) > 0 && d.heap[0].when == t &&
+				(best == nil || schedBefore(d.heap[0], best.heap[0])) {
+				best = d
+			}
+		}
+		if best == nil {
+			break
+		}
+		ev := best.heap[0]
+		best.pop()
+		best.executed++
+		n++
+		if ev.fn != nil {
+			fn := ev.fn
+			ev.fn = nil
+			fn()
+		} else {
+			h, op, a, b, payload := ev.h, ev.op, ev.a, ev.b, ev.payload
+			ev.h, ev.payload = nil, nil
+			ev.free = best.free
+			best.free = ev
+			h.HandleMsg(op, a, b, payload)
+		}
+	}
+	return n
+}
+
+// window drains every domain's events in [now, w) concurrently, then
+// commits the barrier.
+func (p *parState) window(w Time) uint64 {
+	active := p.active[:0]
+	for _, d := range p.domains {
+		if len(d.heap) > 0 && d.heap[0].when < w {
+			active = append(active, d)
+		}
+	}
+	p.active = active
+	if k := p.workers; k <= 1 || len(active) == 1 {
+		for _, d := range active {
+			d.drain(w)
+		}
+	} else {
+		if k > len(active) {
+			k = len(active)
+		}
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		work := func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				active[i].drain(w)
+			}
+		}
+		wg.Add(k - 1)
+		for i := 0; i < k-1; i++ {
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	}
+	return p.commit(w)
+}
+
+// drain executes this domain's events strictly before w, deferring
+// emissions and recording children for the commit. Typed records are
+// not recycled here: the commit still needs their (when, key) for the
+// merge and their op slices for replay.
+func (d *Engine) drain(w Time) {
+	d.deferring = true
+	for len(d.heap) > 0 {
+		ev := d.heap[0]
+		if ev.when >= w {
+			break
+		}
+		d.pop()
+		d.now = ev.when
+		d.executed++
+		start := int32(len(d.ops))
+		typed := ev.h != nil
+		d.cur = ev
+		if ev.fn != nil {
+			fn := ev.fn
+			ev.fn = nil
+			fn()
+		} else {
+			h, op, a, b, payload := ev.h, ev.op, ev.a, ev.b, ev.payload
+			ev.h, ev.payload = nil, nil
+			h.HandleMsg(op, a, b, payload)
+		}
+		d.cur = nil
+		d.fired = append(d.fired, firedRec{ev: ev, opStart: start, opEnd: int32(len(d.ops)), typed: typed})
+	}
+	d.deferring = false
+}
+
+// commit closes the window ending (exclusively) at w: merge the
+// domains' fired events into the serial execution order, and in that
+// order flush deferred emissions, assign real sequence numbers to the
+// events scheduled during the window, and push cross-domain handoffs
+// into their target queues. A second pass recycles the fired typed
+// records — only after the merge, whose comparisons may still reach a
+// parent record. Every provisional key collapses here, so the next
+// window starts from committed state only.
+func (p *parState) commit(w Time) uint64 {
+	p.committing = true
+	root := p.root
+	idx := p.mergeIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	var n uint64
+	last := root.now
+	for {
+		var best *Engine
+		bi := -1
+		for di, d := range p.domains {
+			i := idx[di]
+			if i >= len(d.fired) {
+				continue
+			}
+			ev := d.fired[i].ev
+			// By the time an event reaches a merge head its parent has
+			// already been walked (it fired earlier in the same
+			// domain), so ev.seq is real and the comparison is the
+			// plain serial (when, seq).
+			if best == nil || ev.when < best.fired[idx[bi]].ev.when ||
+				(ev.when == best.fired[idx[bi]].ev.when && ev.seq < best.fired[idx[bi]].ev.seq) {
+				best, bi = d, di
+			}
+		}
+		if best == nil {
+			break
+		}
+		fr := best.fired[idx[bi]]
+		idx[bi]++
+		n++
+		last = fr.ev.when
+		for _, op := range best.ops[fr.opStart:fr.opEnd] {
+			if op.fn != nil {
+				op.fn()
+				continue
+			}
+			ev := op.ev
+			ev.parent = nil
+			ev.seq = root.seq
+			root.seq++
+			if ev.index == -2 { // cross-domain handoff: deliver now
+				tgt := ev.eng
+				if ev.when < w {
+					panic(fmt.Sprintf("sim: cross-domain handoff at %v inside the window ending at %v (lookahead violated)", ev.when, w))
+				}
+				tgt.push(ev)
+			}
+		}
+	}
+	for _, d := range p.domains {
+		for _, fr := range d.fired {
+			if fr.typed {
+				ev := fr.ev
+				ev.parent, ev.kidx, ev.nkids = nil, 0, 0
+				ev.free = d.free
+				d.free = ev
+			}
+		}
+		d.fired = d.fired[:0]
+		d.ops = d.ops[:0]
+	}
+	p.committing = false
+	// The clock lands on the last executed instant, exactly as the
+	// serial loop leaves it (RunUntil's epilogue advances it to the
+	// deadline); events still queued are all at w or later.
+	root.setNow(last)
+	return n
+}

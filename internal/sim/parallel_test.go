@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The parallel engine's contract is exact serial equivalence: same
+// events, same order, same clock reads, at any worker count. The stress
+// harness below runs a randomized message storm over a random
+// process-to-domain assignment — in-domain chatter at arbitrary delays,
+// cross-domain handoffs at the lookahead or beyond, cancellable closure
+// timers, and periodic global (root-scheduled) events that fan pokes
+// into every domain — and cross-checks the full execution log,
+// event for event, against the serial engine.
+
+const (
+	stressLookahead = Time(1000)
+	stressTTL       = 6
+)
+
+type stressRec struct {
+	when Time
+	pid  int
+	op   uint8
+	tag  int
+}
+
+type stressHarness struct {
+	root  *Engine
+	engs  []*Engine
+	rngs  []*Rand
+	procs []stressProc
+	domOf []int
+	log   []stressRec
+	// pending holds, per process, a cancellable timer a later event of
+	// the same process may cancel (cancellation is domain-local).
+	pending []*Event
+}
+
+type stressProc struct {
+	h   *stressHarness
+	pid int
+}
+
+func (sp stressProc) HandleMsg(op uint8, ttl, tag int, payload any) {
+	h, pid := sp.h, sp.pid
+	eng := h.engs[pid]
+	h.record(pid, op, tag)
+	if ttl <= 0 {
+		return
+	}
+	rng := h.rngs[pid]
+	n := len(h.procs)
+	for i, k := 0, int(rng.Intn(3)); i < k; i++ {
+		q := rng.Intn(n)
+		d := Time(rng.Intn(int(2 * stressLookahead)))
+		if h.domOf[q] != h.domOf[pid] {
+			d += stressLookahead // cross-domain: clear the lookahead
+		}
+		eng.ScheduleMsgOn(h.engs[q], eng.Now()+d, h.procs[q], op+1, ttl-1, tag*10+i, nil)
+	}
+	if rng.Intn(3) == 0 {
+		// A cancellable closure timer; half get cancelled by a later
+		// event of the same process before they can fire.
+		tmr := eng.After(time.Duration(1+rng.Intn(int(3*stressLookahead))), func() {
+			h.record(pid, 200, tag)
+		})
+		if h.pending[pid] != nil && rng.Intn(2) == 0 {
+			h.pending[pid].Cancel()
+		}
+		h.pending[pid] = tmr
+	}
+}
+
+func (h *stressHarness) record(pid int, op uint8, tag int) {
+	eng := h.engs[pid]
+	at := eng.Now()
+	eng.Emit(func() {
+		h.log = append(h.log, stressRec{when: at, pid: pid, op: op, tag: tag})
+	})
+}
+
+// runStress executes the storm on one engine configuration and returns
+// the observable log.
+func runStress(seed uint64, n int, domOf []int, parallel bool, workers int) []stressRec {
+	root := New()
+	if parallel {
+		root.EnableParallel(domOf, stressLookahead, workers)
+	}
+	h := &stressHarness{
+		root:    root,
+		engs:    make([]*Engine, n),
+		rngs:    make([]*Rand, n),
+		procs:   make([]stressProc, n),
+		domOf:   domOf,
+		pending: make([]*Event, n),
+	}
+	rng := NewRand(seed)
+	for p := 0; p < n; p++ {
+		h.engs[p] = root.For(p)
+		h.rngs[p] = rng.ForkN(p)
+		h.procs[p] = stressProc{h: h, pid: p}
+	}
+	for p := 0; p < n; p++ {
+		h.engs[p].ScheduleMsg(Time(7*p), h.procs[p], 1, stressTTL, p, nil)
+	}
+	// Global barrier events: log from the root and poke every process,
+	// including at the same instant as in-flight domain work.
+	for i := 1; i <= 8; i++ {
+		at := Time(i * 2500)
+		root.Schedule(at, func() {
+			h.log = append(h.log, stressRec{when: root.Now(), pid: -1, op: 99})
+			for p := 0; p < n; p++ {
+				h.engs[p].ScheduleMsg(root.Now(), h.procs[p], 50, 1, p, nil)
+			}
+		})
+	}
+	root.Run()
+	return h.log
+}
+
+func stressDomains(seed uint64, n, domains int) []int {
+	rng := NewRand(seed).Fork("domains")
+	domOf := make([]int, n)
+	for p := range domOf {
+		domOf[p] = rng.Intn(domains)
+	}
+	domOf[0] = 0 // keep domain ids starting at 0
+	return domOf
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const n = 12
+	for seed := uint64(1); seed <= 5; seed++ {
+		domOf := stressDomains(seed, n, 4)
+		want := runStress(seed, n, domOf, false, 0)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty serial log", seed)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			got := runStress(seed, n, domOf, true, workers)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d workers %d: %d events, serial %d", seed, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d workers %d: event %d = %+v, serial %+v", seed, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSingleDomain(t *testing.T) {
+	const n = 8
+	domOf := make([]int, n)
+	want := runStress(3, n, domOf, false, 0)
+	got := runStress(3, n, domOf, true, 1)
+	if len(got) != len(want) {
+		t.Fatalf("single-domain parallel: %d events, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("single-domain parallel: event %d = %+v, serial %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelClockAndCounts(t *testing.T) {
+	const n = 12
+	domOf := stressDomains(2, n, 4)
+	serial := New()
+	par := New()
+	par.EnableParallel(domOf, stressLookahead, 2)
+	for _, tc := range []struct {
+		eng      *Engine
+		parallel bool
+	}{{serial, false}, {par, true}} {
+		eng := tc.eng
+		h := &stressHarness{root: eng, engs: make([]*Engine, n), rngs: make([]*Rand, n),
+			procs: make([]stressProc, n), domOf: domOf, pending: make([]*Event, n)}
+		rng := NewRand(2)
+		for p := 0; p < n; p++ {
+			h.engs[p] = eng.For(p)
+			h.rngs[p] = rng.ForkN(p)
+			h.procs[p] = stressProc{h: h, pid: p}
+			h.engs[p].ScheduleMsg(Time(7*p), h.procs[p], 1, stressTTL, p, nil)
+		}
+		eng.RunUntil(5000)
+		if eng.Now() != 5000 {
+			t.Fatalf("parallel=%v: Now()=%v after RunUntil(5000)", tc.parallel, eng.Now())
+		}
+		for p := 0; p < n; p++ {
+			if h.engs[p].Now() != 5000 {
+				t.Fatalf("parallel=%v: handle %d Now()=%v after RunUntil(5000)", tc.parallel, p, h.engs[p].Now())
+			}
+		}
+	}
+	if serial.Executed() != par.Executed() {
+		t.Fatalf("executed: serial %d, parallel %d", serial.Executed(), par.Executed())
+	}
+	if serial.Pending() != par.Pending() {
+		t.Fatalf("pending: serial %d, parallel %d", serial.Pending(), par.Pending())
+	}
+}

@@ -9,8 +9,9 @@ import "fmt"
 // hand-built graphs fall back to a full wire/edge dump. Durations are
 // nanoseconds (time.Duration's integer image).
 type Spec struct {
-	// Gen names the generator: "fullmesh", "star", "ring", "clique" or
-	// "geo". Empty for hand-built topologies, which carry Wires/Edges.
+	// Gen names the generator: "fullmesh", "star", "ring", "onewayring",
+	// "clique" or "geo". Empty for hand-built topologies, which carry
+	// Wires/Edges.
 	Gen string `json:"gen,omitempty"`
 	N   int    `json:"n"`
 	// Geo parameters, set when Gen is "geo".
@@ -71,6 +72,8 @@ func FromSpec(s Spec) (*Topology, error) {
 		return Star(s.N), nil
 	case "ring":
 		return Ring(s.N), nil
+	case "onewayring":
+		return OneWayRing(s.N), nil
 	case "clique":
 		return Clique(s.N), nil
 	case "geo":

@@ -183,6 +183,27 @@ func Ring(n int) *Topology {
 	return t
 }
 
+// OneWayRing joins process i to its successor (i+1) mod n with a
+// dedicated unidirectional wire: messages travel one way around the
+// ring, so a unicast to the predecessor relays through every other
+// process. It is the fully directed topology — each wire has exactly
+// one transmitter and one receiver and no process shares a medium with
+// any other — which makes it the canonical multi-domain graph for the
+// parallel engine: netmodel.ConflictDomains splits it into n conflict
+// domains with a lookahead of one wire traversal.
+func OneWayRing(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("onewayring-%d", n), N: n, gen: &genInfo{kind: "onewayring"}}
+	if n == 1 {
+		t.Wires = []Wire{{}}
+		return t
+	}
+	for i := 0; i < n; i++ {
+		t.Wires = append(t.Wires, Wire{})
+		t.Edges = append(t.Edges, Edge{From: i, To: (i + 1) % n, Wire: i})
+	}
+	return t
+}
+
 // Clique joins every process pair with a dedicated bidirectional wire:
 // full direct connectivity like FullMesh, but no shared medium at all —
 // the switched-network limit where only CPUs contend.

@@ -381,6 +381,12 @@ func Star(n int) *Topology { return topo.Star(n) }
 // both ways around, so latency grows with n while contention stays flat.
 func Ring(n int) *Topology { return topo.Ring(n) }
 
+// OneWayRing joins each process to its successor over a dedicated
+// unidirectional wire — the fully directed topology, and the canonical
+// multi-domain graph for ParallelSim: it splits into one conflict
+// domain per process with a lookahead of one wire traversal.
+func OneWayRing(n int) *Topology { return topo.OneWayRing(n) }
+
 // Clique joins every process pair with a dedicated wire — full direct
 // connectivity with no shared medium, the switched-network limit.
 func Clique(n int) *Topology { return topo.Clique(n) }
